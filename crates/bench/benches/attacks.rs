@@ -1,0 +1,58 @@
+//! E2/E3 — cost of the impossibility constructions.
+//!
+//! Measures the full pipeline of Lemma 1 / Theorem 3.2: FTT search, the
+//! per-`k` continuations, plan assembly and execution. Expect growth with
+//! the omission bound `o` (the FTT — and hence the number of `I_k`
+//! sub-runs — is `2(o+1)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppfts_core::{Skno, SknoState};
+use ppfts_engine::OneWayModel;
+use ppfts_protocols::Pairing;
+use ppfts_verify::{lemma1_attack, thm32_attack, Optimist, OptimistState};
+
+fn bench_lemma1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1_attack");
+    group.sample_size(10);
+    for o in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(o), &o, |b, &o| {
+            b.iter(|| {
+                let report = lemma1_attack(
+                    OneWayModel::I3,
+                    Skno::new(Pairing, o),
+                    SknoState::new,
+                    128,
+                    512,
+                )
+                .unwrap();
+                assert!(report.violated_safety());
+                report.plan_len
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm32_attack");
+    group.sample_size(10);
+    for model in [OneWayModel::I1, OneWayModel::I2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.to_string()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    let report =
+                        thm32_attack(model, Optimist::new(Pairing), OptimistState::new, 64, 256)
+                            .unwrap();
+                    assert!(report.violated_safety());
+                    report.plan_len
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lemma1, bench_thm32);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Shared harness utilities for the experiment suite.
+//!
+//! The binaries (`figure4`, `experiments`) and the Criterion benches all
+//! build their workloads through this crate so that DESIGN.md's
+//! per-experiment index points at one implementation of each measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ppfts_core::{project, NamedSid, Sid, Skno, SknoState};
+use ppfts_engine::{
+    run_seeds, BoundedStrategy, OneWayModel, OneWayRunner, RunOutcome, UniformScheduler,
+};
+use ppfts_protocols::{Pairing, PairingState};
+
+/// Convergence measurement of one simulator configuration, aggregated
+/// over seeds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Convergence {
+    /// Number of agents.
+    pub n: usize,
+    /// Seeds that converged within the budget.
+    pub converged: usize,
+    /// Seeds run in total.
+    pub seeds: usize,
+    /// Mean interactions to stabilize (over converged seeds).
+    pub mean_steps: f64,
+    /// Mean engine interactions per *simulated* two-way interaction.
+    pub steps_per_simulated: f64,
+}
+
+impl Convergence {
+    /// Renders one table row: `n, converged/seeds, mean, per-sim`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>5} | {:>5}/{:<5} | {:>12.1} | {:>10.2}",
+            self.n, self.converged, self.seeds, self.mean_steps, self.steps_per_simulated
+        )
+    }
+}
+
+/// The Pairing workload used throughout: `n/2` consumers, `n/2` producers
+/// (n even), expecting `n/2` pairings.
+pub fn pairing_inputs(n: usize) -> Vec<PairingState> {
+    assert!(n >= 2 && n.is_multiple_of(2), "workload uses even n");
+    Pairing::initial(n / 2, n / 2).as_slice().to_vec()
+}
+
+/// Measures SID's convergence on the Pairing workload.
+pub fn measure_sid(n: usize, seeds: u64, budget: u64) -> Convergence {
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let sims = pairing_inputs(n);
+        let expected = n / 2;
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Sid::new(Pairing))
+            .config(Sid::<Pairing>::initial(&sims))
+            .scheduler(UniformScheduler::new())
+            .seed(seed)
+            .build()
+            .expect("valid population");
+        let out = runner.run_until(budget, |c| {
+            project(c).count_state(&PairingState::Paired) == expected
+        });
+        (out, expected as u64)
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// Measures SKnO's convergence on the Pairing workload under model I3
+/// with omission bound `o` (the adversary spends the full budget).
+pub fn measure_skno(n: usize, o: u32, seeds: u64, budget: u64) -> Convergence {
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let sims = pairing_inputs(n);
+        let expected = n / 2;
+        let mut runner = OneWayRunner::builder(OneWayModel::I3, Skno::new(Pairing, o))
+            .config(Skno::<Pairing>::initial(&sims))
+            .adversary(BoundedStrategy::new(0.02, o as u64))
+            .seed(seed)
+            .build()
+            .expect("valid population");
+        let out = runner.run_until(budget, |c| {
+            project(c).count_state(&PairingState::Paired) == expected
+        });
+        (out, expected as u64)
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// Measures the naming-composed simulator's convergence (naming plus the
+/// simulated Pairing) with knowledge of `n`.
+pub fn measure_named(n: usize, seeds: u64, budget: u64) -> Convergence {
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let sims = pairing_inputs(n);
+        let expected = n / 2;
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(Pairing, n))
+            .config(NamedSid::<Pairing>::initial(&sims))
+            .seed(seed)
+            .build()
+            .expect("valid population");
+        let out = runner.run_until(budget, |c| {
+            project(c).count_state(&PairingState::Paired) == expected
+        });
+        (out, expected as u64)
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// Measures only the naming phase of `Nn`: interactions until every agent
+/// has started simulating.
+pub fn measure_naming_phase(n: usize, seeds: u64, budget: u64) -> Convergence {
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let sims = pairing_inputs(n);
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(Pairing, n))
+            .config(NamedSid::<Pairing>::initial(&sims))
+            .seed(seed)
+            .build()
+            .expect("valid population");
+        let out = runner.run_until(budget, |c| c.as_slice().iter().all(|q| q.is_simulating()));
+        (out, 1u64) // one "simulated step" = completing the naming
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// Peak per-agent token footprint of SKnO on the Pairing workload — the
+/// measured side of Theorem 4.1's Θ(|Q_P|·(o+1)·log n) memory bound.
+pub fn skno_peak_tokens(n: usize, o: u32, steps: u64, seed: u64) -> usize {
+    let sims = pairing_inputs(n);
+    let mut runner = OneWayRunner::builder(OneWayModel::I3, Skno::new(Pairing, o))
+        .config(Skno::<Pairing>::initial(&sims))
+        .adversary(BoundedStrategy::new(0.02, o as u64))
+        .seed(seed)
+        .build()
+        .expect("valid population");
+    let mut peak = 0usize;
+    for _ in 0..steps {
+        if runner.step().is_err() {
+            break;
+        }
+        let here = runner
+            .config()
+            .as_slice()
+            .iter()
+            .map(SknoState::token_footprint)
+            .max()
+            .unwrap_or(0);
+        peak = peak.max(here);
+    }
+    peak
+}
+
+/// Worker threads for seed fan-out.
+pub fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(2)
+}
+
+fn aggregate(n: usize, values: impl Iterator<Item = (RunOutcome, u64)>) -> Convergence {
+    let mut converged = 0usize;
+    let mut seeds = 0usize;
+    let mut total_steps = 0f64;
+    let mut total_ratio = 0f64;
+    for (out, simulated) in values {
+        seeds += 1;
+        if out.is_satisfied() {
+            converged += 1;
+            total_steps += out.steps() as f64;
+            total_ratio += out.steps() as f64 / simulated.max(1) as f64;
+        }
+    }
+    let denom = converged.max(1) as f64;
+    Convergence {
+        n,
+        converged,
+        seeds,
+        mean_steps: total_steps / denom,
+        steps_per_simulated: total_ratio / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sid_measurement_converges_for_small_n() {
+        let c = measure_sid(4, 3, 500_000);
+        assert_eq!(c.converged, 3);
+        assert!(c.mean_steps > 0.0);
+        assert!(c.steps_per_simulated >= 3.0, "at least FTT per simulated step");
+    }
+
+    #[test]
+    fn skno_measurement_converges_for_small_n() {
+        let c = measure_skno(4, 1, 3, 1_000_000);
+        assert_eq!(c.converged, 3);
+    }
+
+    #[test]
+    fn peak_tokens_scale_with_bound() {
+        let low = skno_peak_tokens(4, 0, 3_000, 7);
+        let high = skno_peak_tokens(4, 3, 3_000, 7);
+        assert!(high > low, "longer runs mean more tokens in flight");
+    }
+
+    #[test]
+    #[should_panic(expected = "even n")]
+    fn odd_population_rejected() {
+        let _ = pairing_inputs(5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Commit records: how simulators expose simulated-state transitions.
+//!
+//! A *simulator* wraps a two-way protocol `P` into a program for a weaker
+//! model whose per-agent state is `Q_P × Q_S` (Definition in §2.4 of the
+//! paper). Verifying a simulation requires knowing *when* an agent's
+//! simulated state changed and *against which partner state* the transition
+//! `δ_P` was applied — that is exactly what a [`Commit`] records, and the
+//! [`SimulatorState`] trait exposes it uniformly for every simulator in
+//! this crate so that event extraction and matching construction are
+//! simulator-agnostic.
+
+use ppfts_population::{Configuration, State};
+
+/// Which side of the *simulated* two-way interaction an agent played.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The agent applied `fs = δ_P(·,·)[0]`.
+    Starter,
+    /// The agent applied `fr = δ_P(·,·)[1]`.
+    Reactor,
+}
+
+impl Role {
+    /// The opposite role.
+    pub fn other(self) -> Role {
+        match self {
+            Role::Starter => Role::Reactor,
+            Role::Reactor => Role::Starter,
+        }
+    }
+}
+
+/// Metadata of one committed simulated transition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Commit<Q> {
+    /// The role this agent played in the simulated interaction.
+    pub role: Role,
+    /// The simulated state of the (possibly anonymous) partner the
+    /// transition was computed against.
+    pub partner: Q,
+    /// The partner's unique identifier, when the simulator has one
+    /// (`SID`); `None` for anonymous simulators (`SKnO`).
+    pub partner_id: Option<u64>,
+    /// This agent's zero-based commit sequence number.
+    pub seq: u64,
+}
+
+/// A simulator's per-agent state: a simulated state `Q_P` plus simulator
+/// bookkeeping `Q_S`, with introspection for verification.
+///
+/// The projection [`simulated`](SimulatorState::simulated) is the paper's
+/// `π_P`. [`commit_count`](SimulatorState::commit_count) increases by
+/// exactly one each time the agent commits a simulated transition, and
+/// [`last_commit`](SimulatorState::last_commit) then describes it; this is
+/// what lets `extract_events` recover the paper's *sequence of events*
+/// `E(Γ)` from an engine trace.
+pub trait SimulatorState {
+    /// The simulated protocol's state type `Q_P`.
+    type Simulated: State;
+
+    /// The projection `π_P` onto the simulated state.
+    fn simulated(&self) -> &Self::Simulated;
+
+    /// Number of simulated transitions this agent has committed.
+    fn commit_count(&self) -> u64;
+
+    /// The most recent commit, if any.
+    fn last_commit(&self) -> Option<&Commit<Self::Simulated>>;
+
+    /// The agent's own protocol-level unique ID, for simulators that have
+    /// one (`SID`, and the naming simulator once named). Default: `None`.
+    fn protocol_id(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Projects a configuration of simulator states onto the simulated
+/// protocol — the paper's `π_P(C)`.
+///
+/// # Example
+///
+/// See the crate-level example; every simulator test in this crate uses
+/// `project` to compare simulated executions with native ones.
+pub fn project<S>(config: &Configuration<S>) -> Configuration<S::Simulated>
+where
+    S: SimulatorState + State,
+{
+    config.map(|s| s.simulated().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct Dummy {
+        sim: u8,
+        commits: u64,
+        last: Option<Commit<u8>>,
+    }
+
+    impl SimulatorState for Dummy {
+        type Simulated = u8;
+        fn simulated(&self) -> &u8 {
+            &self.sim
+        }
+        fn commit_count(&self) -> u64 {
+            self.commits
+        }
+        fn last_commit(&self) -> Option<&Commit<u8>> {
+            self.last.as_ref()
+        }
+    }
+
+    #[test]
+    fn role_other_is_involution() {
+        assert_eq!(Role::Starter.other(), Role::Reactor);
+        assert_eq!(Role::Reactor.other().other(), Role::Reactor);
+    }
+
+    #[test]
+    fn project_maps_every_agent() {
+        let config = Configuration::new(vec![
+            Dummy { sim: 3, commits: 0, last: None },
+            Dummy { sim: 7, commits: 0, last: None },
+        ]);
+        assert_eq!(project(&config).as_slice(), &[3, 7]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Parallel batch execution across seeds.
+//!
+//! Experiment harnesses estimate convergence-time distributions by running
+//! the same system under many scheduler seeds. [`run_seeds`] fans the seeds
+//! out over a fixed-size thread pool (crossbeam scoped threads, so the
+//! closure may borrow from the caller) and returns the per-seed results in
+//! seed order.
+
+use crossbeam::channel;
+
+/// Result of one seeded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedSummary<T> {
+    /// The seed the run used.
+    pub seed: u64,
+    /// Whatever the run produced.
+    pub value: T,
+}
+
+/// Runs `f(seed)` for every seed, in parallel on `threads` workers, and
+/// returns the results sorted by seed.
+///
+/// `f` must be deterministic in `seed` for experiments to be reproducible;
+/// nothing enforces this, but every built-in runner is.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if `f` panics on any seed.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::run_seeds;
+///
+/// let squares = run_seeds(0..5, 2, |seed| seed * seed);
+/// let values: Vec<u64> = squares.iter().map(|s| s.value).collect();
+/// assert_eq!(values, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_seeds<T, F>(
+    seeds: impl IntoIterator<Item = u64>,
+    threads: usize,
+    f: F,
+) -> Vec<SeedSummary<T>>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<u64>();
+    let (result_tx, result_rx) = channel::unbounded::<SeedSummary<T>>();
+    for &seed in &seeds {
+        task_tx.send(seed).expect("receiver alive");
+    }
+    drop(task_tx);
+
+    let workers = threads.min(seeds.len());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok(seed) = task_rx.recv() {
+                    let value = f(seed);
+                    if result_tx.send(SeedSummary { seed, value }).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+    })
+    .expect("worker panicked");
+
+    let mut results: Vec<SeedSummary<T>> = result_rx.into_iter().collect();
+    results.sort_by_key(|s| s.seed);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_results_in_seed_order() {
+        let out = run_seeds([9, 1, 5], 3, |s| s + 100);
+        let seeds: Vec<u64> = out.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds, vec![1, 5, 9]);
+        assert_eq!(out[0].value, 101);
+    }
+
+    #[test]
+    fn handles_more_threads_than_seeds() {
+        let out = run_seeds([3], 16, |s| s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seed, 3);
+    }
+
+    #[test]
+    fn empty_seed_set_is_fine() {
+        let out: Vec<SeedSummary<u64>> = run_seeds([], 4, |s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closure_may_borrow_environment() {
+        let offset = 7u64;
+        let out = run_seeds(0..3, 2, |s| s + offset);
+        assert_eq!(out[2].value, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = run_seeds([1], 0, |s| s);
+    }
+}

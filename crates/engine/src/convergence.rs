@@ -1,0 +1,199 @@
+//! Convergence detection helpers.
+//!
+//! A population protocol never halts — it *stabilizes*: eventually no
+//! reachable interaction changes any state (the configuration is
+//! **silent**), or at least the output stops changing. This module offers
+//! the exact, protocol-level silence checks that complement the runners'
+//! observational [`run_until_stable`](crate::OneWayRunner::run_until_stable)
+//! heuristic.
+
+use ppfts_population::{Configuration, Multiset, State};
+
+use crate::{outcome, OneWayFault, OneWayModel, OneWayProgram, TwoWayFault, TwoWayModel, TwoWayProgram};
+
+/// Whether `config` is **silent** under a two-way program: no ordered pair
+/// of (distinct) present states changes under any fault the model
+/// permits.
+///
+/// Cost: O(d² · f) where `d` is the number of *distinct* states present
+/// and `f` the number of permitted faults — silence is a property of the
+/// multiset, not of agent identities.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::convergence::silent_two_way;
+/// use ppfts_engine::TwoWayModel;
+/// use ppfts_population::{Configuration, FunctionProtocol};
+///
+/// let or = FunctionProtocol::new(
+///     |s: &bool, r: &bool| *s || *r,
+///     |s: &bool, r: &bool| *s || *r,
+/// );
+/// assert!(silent_two_way(TwoWayModel::Tw, &or, &Configuration::uniform(true, 4)));
+/// assert!(!silent_two_way(TwoWayModel::Tw, &or, &Configuration::new(vec![true, false])));
+/// ```
+pub fn silent_two_way<P: TwoWayProgram>(
+    model: TwoWayModel,
+    program: &P,
+    config: &Configuration<P::State>,
+) -> bool {
+    let counts = config.counts();
+    silent_over_pairs(&counts, |s, r| {
+        model.permitted_faults().iter().all(|&fault| {
+            let (s2, r2) = outcome::two_way(model, program, s, r, fault)
+                .expect("fault permitted by the model");
+            s2 == *s && r2 == *r
+        })
+    })
+}
+
+/// Whether `config` is **silent** under a one-way program: no ordered
+/// pair of (distinct) present states changes under any fault the model
+/// permits.
+pub fn silent_one_way<P: OneWayProgram>(
+    model: OneWayModel,
+    program: &P,
+    config: &Configuration<P::State>,
+) -> bool {
+    let faults: &[OneWayFault] = if model.allows_omissions() {
+        &[OneWayFault::None, OneWayFault::Omission]
+    } else {
+        &[OneWayFault::None]
+    };
+    let counts = config.counts();
+    silent_over_pairs(&counts, |s, r| {
+        faults.iter().all(|&fault| {
+            let (s2, r2) = outcome::one_way(model, program, s, r, fault)
+                .expect("fault permitted by the model");
+            s2 == *s && r2 == *r
+        })
+    })
+}
+
+fn silent_over_pairs<Q: State>(
+    counts: &Multiset<Q>,
+    mut pair_is_noop: impl FnMut(&Q, &Q) -> bool,
+) -> bool {
+    for (s, cs) in counts.iter() {
+        for (r, _) in counts.iter() {
+            if s == r && cs < 2 {
+                continue; // a lone agent cannot meet itself
+            }
+            if !pair_is_noop(s, r) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Faults that may occur for a two-way model — re-exported for silence
+/// analysis of custom tooling.
+pub fn permitted_two_way_faults(model: TwoWayModel) -> &'static [TwoWayFault] {
+    model.permitted_faults()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfts_population::FunctionProtocol;
+
+    fn epidemic() -> impl TwoWayProgram<State = bool> {
+        FunctionProtocol::new(|s: &bool, r: &bool| *s || *r, |s: &bool, r: &bool| *s || *r)
+    }
+
+    struct OneWayOr;
+    impl OneWayProgram for OneWayOr {
+        type State = bool;
+        fn on_receive(&self, s: &bool, r: &bool) -> bool {
+            *s || *r
+        }
+    }
+
+    #[test]
+    fn all_infected_is_silent() {
+        assert!(silent_two_way(
+            TwoWayModel::Tw,
+            &epidemic(),
+            &Configuration::uniform(true, 5)
+        ));
+        assert!(silent_one_way(
+            OneWayModel::Io,
+            &OneWayOr,
+            &Configuration::uniform(true, 5)
+        ));
+    }
+
+    #[test]
+    fn mixed_is_not_silent() {
+        assert!(!silent_two_way(
+            TwoWayModel::Tw,
+            &epidemic(),
+            &Configuration::new(vec![true, false, false])
+        ));
+        assert!(!silent_one_way(
+            OneWayModel::Io,
+            &OneWayOr,
+            &Configuration::new(vec![false, true])
+        ));
+    }
+
+    #[test]
+    fn all_clear_is_silent_too() {
+        assert!(silent_two_way(
+            TwoWayModel::Tw,
+            &epidemic(),
+            &Configuration::uniform(false, 3)
+        ));
+    }
+
+    #[test]
+    fn lone_state_needs_two_copies_to_self_meet() {
+        // A protocol where (q, q) reacts but nothing else: a single copy
+        // of q is silent, two copies are not.
+        let p = FunctionProtocol::new(
+            |s: &u8, r: &u8| if *s == 1 && *r == 1 { 2 } else { *s },
+            |s: &u8, r: &u8| if *s == 1 && *r == 1 { 2 } else { *r },
+        );
+        assert!(silent_two_way(TwoWayModel::Tw, &p, &Configuration::new(vec![1, 0])));
+        assert!(!silent_two_way(TwoWayModel::Tw, &p, &Configuration::new(vec![1, 1])));
+    }
+
+    #[test]
+    fn omissive_models_check_faulty_outcomes_as_well() {
+        // A program whose omission-detection hook changes state: silent
+        // under TW dynamics but not under T3, where the adversary can
+        // trigger `h`.
+        struct Detect;
+        impl TwoWayProgram for Detect {
+            type State = u8;
+            fn starter_update(&self, s: &u8, _r: &u8) -> u8 {
+                *s
+            }
+            fn reactor_update(&self, _s: &u8, r: &u8) -> u8 {
+                *r
+            }
+            fn reactor_omission(&self, r: &u8) -> u8 {
+                r + 1
+            }
+        }
+        let c = Configuration::new(vec![0u8, 0]);
+        assert!(silent_two_way(TwoWayModel::Tw, &Detect, &c));
+        assert!(!silent_two_way(TwoWayModel::T3, &Detect, &c));
+    }
+
+    #[test]
+    fn runners_detect_observed_stability() {
+        use crate::{OneWayRunner, RunOutcome};
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, OneWayOr)
+            .config(Configuration::new(vec![true, false, false]))
+            .seed(4)
+            .build()
+            .unwrap();
+        let out = runner.run_until_stable(100_000, 200);
+        assert!(matches!(out, RunOutcome::Satisfied { .. }));
+        // Once observationally stable here, truly silent too.
+        assert!(silent_one_way(OneWayModel::Io, &OneWayOr, runner.config()));
+    }
+}

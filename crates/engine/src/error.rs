@@ -1,0 +1,105 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+use ppfts_population::PopulationError;
+
+use crate::Model;
+
+/// Errors raised while configuring or driving an execution.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::outcome::one_way;
+/// use ppfts_engine::{EngineError, OneWayFault, OneWayModel, OneWayProgram};
+///
+/// struct Noop;
+/// impl OneWayProgram for Noop {
+///     type State = u8;
+///     fn on_receive(&self, _s: &u8, r: &u8) -> u8 { *r }
+/// }
+///
+/// let err = one_way(OneWayModel::Io, &Noop, &0, &0, OneWayFault::Omission).unwrap_err();
+/// assert!(matches!(err, EngineError::FaultNotInRelation { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The requested fault decoration is not part of the model's transition
+    /// relation (e.g. any omission under TW/IT/IO, a both-sides omission
+    /// under T1).
+    FaultNotInRelation {
+        /// The interaction model in force.
+        model: Model,
+        /// Display form of the rejected fault.
+        fault: String,
+    },
+    /// A runner was built without a configuration, or with fewer than two
+    /// agents.
+    InvalidPopulation {
+        /// Number of agents supplied.
+        len: usize,
+    },
+    /// An underlying population operation failed.
+    Population(PopulationError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::FaultNotInRelation { model, fault } => {
+                write!(f, "fault `{fault}` is not in the transition relation of model {model}")
+            }
+            EngineError::InvalidPopulation { len } => {
+                write!(f, "runner needs a population of at least 2 agents, got {len}")
+            }
+            EngineError::Population(e) => write!(f, "population error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Population(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PopulationError> for EngineError {
+    fn from(e: PopulationError) -> Self {
+        EngineError::Population(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwoWayModel;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EngineError::FaultNotInRelation {
+            model: Model::TwoWay(TwoWayModel::Tw),
+            fault: "omit@both".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("TW"));
+        assert!(msg.contains("omit@both"));
+    }
+
+    #[test]
+    fn population_errors_are_wrapped_with_source() {
+        let e: EngineError = PopulationError::SelfInteraction { agent: 1 }.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EngineError>();
+    }
+}

@@ -1,0 +1,769 @@
+//! Execution drivers.
+//!
+//! A runner owns a configuration, a [`Scheduler`], an [`OmissionStrategy`]
+//! and a seeded RNG, and drives a program under a fixed interaction model.
+//! Runs are fully deterministic given the seed, which is what makes the
+//! experiment harnesses and the adversarial constructions reproducible.
+//!
+//! Both families share the same surface:
+//!
+//! * [`step`](OneWayRunner::step) — execute one interaction and return the
+//!   full [`StepRecord`];
+//! * [`run`](OneWayRunner::run) — execute a step budget without building
+//!   records;
+//! * [`run_until`](OneWayRunner::run_until) — run until a configuration
+//!   predicate holds or the budget is exhausted;
+//! * [`apply_planned`](OneWayRunner::apply_planned) — execute an exact
+//!   sequence of (interaction, fault) pairs, bypassing scheduler and
+//!   adversary. This is how the impossibility constructions of the paper
+//!   (runs `I_k`, `I*`) are realized.
+
+use ppfts_population::{Configuration, Interaction};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{
+    outcome, EngineError, NoOmissions, OmissionStrategy, OneWayFault, OneWayModel, OneWayProgram,
+    RunStats, Scheduler, SidePolicy, StepRecord, Trace, TwoWayFault, TwoWayModel, TwoWayProgram,
+    UniformScheduler,
+};
+
+/// One pre-planned step: an interaction and its fault decoration.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::{OneWayFault, Planned};
+/// use ppfts_population::Interaction;
+///
+/// let ok: Planned<OneWayFault> = Planned::ok(Interaction::new(0, 1)?);
+/// assert_eq!(ok.fault, OneWayFault::None);
+/// let omissive = Planned::new(Interaction::new(0, 1)?, OneWayFault::Omission);
+/// assert!(omissive.fault.is_omissive());
+/// # Ok::<(), ppfts_population::PopulationError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Planned<F> {
+    /// The interacting pair.
+    pub interaction: Interaction,
+    /// The fault decoration.
+    pub fault: F,
+}
+
+impl<F> Planned<F> {
+    /// Creates a planned step.
+    pub fn new(interaction: Interaction, fault: F) -> Self {
+        Planned { interaction, fault }
+    }
+}
+
+impl<F: Default> Planned<F> {
+    /// Creates a fault-free planned step.
+    pub fn ok(interaction: Interaction) -> Self {
+        Planned {
+            interaction,
+            fault: F::default(),
+        }
+    }
+}
+
+impl Planned<OneWayFault> {
+    /// Creates a one-way omissive planned step.
+    pub fn omission(interaction: Interaction) -> Self {
+        Planned {
+            interaction,
+            fault: OneWayFault::Omission,
+        }
+    }
+}
+
+/// Result of [`run_until`](OneWayRunner::run_until).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The predicate held; `steps` is the runner's total interaction count
+    /// at that moment.
+    Satisfied {
+        /// Total interactions executed by the runner so far.
+        steps: u64,
+    },
+    /// The step budget was exhausted without the predicate holding.
+    Exhausted {
+        /// Total interactions executed by the runner so far.
+        steps: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the predicate was satisfied.
+    pub fn is_satisfied(self) -> bool {
+        matches!(self, RunOutcome::Satisfied { .. })
+    }
+
+    /// The runner's total interaction count when the run stopped.
+    pub fn steps(self) -> u64 {
+        match self {
+            RunOutcome::Satisfied { steps } | RunOutcome::Exhausted { steps } => steps,
+        }
+    }
+}
+
+macro_rules! runner_impl {
+    (
+        $(#[$doc:meta])*
+        runner: $Runner:ident,
+        builder: $Builder:ident,
+        model: $Model:ty,
+        fault: $Fault:ty,
+        program: $Program:ident,
+        compute: |$self_:ident, $i:ident, $fault_:ident, $s:ident, $r:ident| $compute:expr,
+        decide: |$dself:ident| $decide:expr,
+    ) => {
+        $(#[$doc])*
+        pub struct $Runner<P: $Program, S = UniformScheduler, A = NoOmissions> {
+            model: $Model,
+            program: P,
+            config: Configuration<P::State>,
+            scheduler: S,
+            adversary: A,
+            // Consulted only by the two-way expansion of this macro.
+            #[allow(dead_code)]
+            side_policy: SidePolicy,
+            rng: SmallRng,
+            next_index: u64,
+            stats: RunStats,
+            trace: Option<Trace<P::State, $Fault>>,
+        }
+
+        impl<P: $Program> $Runner<P> {
+            /// Starts building a runner for `program` under `model`.
+            pub fn builder(model: $Model, program: P) -> $Builder<P, UniformScheduler, NoOmissions> {
+                $Builder {
+                    model,
+                    program,
+                    config: None,
+                    scheduler: UniformScheduler::new(),
+                    adversary: NoOmissions,
+                    side_policy: SidePolicy::Uniform,
+                    seed: 0x9f75_53c1,
+                    record_trace: false,
+                }
+            }
+        }
+
+        impl<P, S, A> $Runner<P, S, A>
+        where
+            P: $Program,
+            S: Scheduler,
+            A: OmissionStrategy,
+        {
+            /// The interaction model in force.
+            pub fn model(&self) -> $Model {
+                self.model
+            }
+
+            /// The program being executed.
+            pub fn program(&self) -> &P {
+                &self.program
+            }
+
+            /// The current configuration.
+            pub fn config(&self) -> &Configuration<P::State> {
+                &self.config
+            }
+
+            /// Consumes the runner, returning the final configuration.
+            pub fn into_config(self) -> Configuration<P::State> {
+                self.config
+            }
+
+            /// Total interactions executed so far.
+            pub fn steps(&self) -> u64 {
+                self.next_index
+            }
+
+            /// Accumulated statistics.
+            pub fn stats(&self) -> RunStats {
+                self.stats
+            }
+
+            /// The adversary, e.g. to audit [`OmissionStrategy::injected`].
+            pub fn adversary(&self) -> &A {
+                &self.adversary
+            }
+
+            /// The recorded trace so far, if tracing is enabled.
+            pub fn trace(&self) -> Option<&Trace<P::State, $Fault>> {
+                self.trace.as_ref()
+            }
+
+            /// Removes and returns the trace recorded so far, leaving an
+            /// empty one in place (tracing stays enabled).
+            pub fn take_trace(&mut self) -> Option<Trace<P::State, $Fault>> {
+                self.trace.as_mut().map(std::mem::take)
+            }
+
+            fn execute(
+                &mut self,
+                interaction: Interaction,
+                fault: $Fault,
+                want_record: bool,
+            ) -> Result<Option<StepRecord<P::State, $Fault>>, EngineError> {
+                interaction.check_bounds(self.config.len())?;
+                let old_s = self.config.state(interaction.starter()).clone();
+                let old_r = self.config.state(interaction.reactor()).clone();
+                let (new_s, new_r) = {
+                    let $self_ = &*self;
+                    let $i = interaction;
+                    let $fault_ = fault;
+                    let $s = &old_s;
+                    let $r = &old_r;
+                    $compute?
+                };
+                let changed = new_s != old_s || new_r != old_r;
+                self.config
+                    .write_pair(interaction, (new_s.clone(), new_r.clone()))?;
+                let index = self.next_index;
+                self.next_index += 1;
+                self.stats.record(is_omissive(&fault), changed);
+                let make = |old_starter: P::State, old_reactor: P::State| StepRecord {
+                    index,
+                    interaction,
+                    fault,
+                    old_starter,
+                    old_reactor,
+                    new_starter: new_s,
+                    new_reactor: new_r,
+                };
+                if let Some(trace) = self.trace.as_mut() {
+                    let rec = make(old_s, old_r);
+                    trace.push(rec.clone());
+                    return Ok(if want_record { Some(rec) } else { None });
+                }
+                Ok(if want_record {
+                    Some(make(old_s, old_r))
+                } else {
+                    None
+                })
+            }
+
+            fn next_fault(&mut self) -> $Fault {
+                let $dself = self;
+                $decide
+            }
+
+            /// Executes one scheduled interaction and returns its record.
+            ///
+            /// # Errors
+            ///
+            /// Propagates fault-relation violations (cannot happen with the
+            /// built-in adversaries and side policies restricted to the
+            /// model's permitted faults) and bounds errors from custom
+            /// schedulers.
+            pub fn step(&mut self) -> Result<StepRecord<P::State, $Fault>, EngineError> {
+                let n = self.config.len();
+                let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                let fault = self.next_fault();
+                Ok(self
+                    .execute(interaction, fault, true)?
+                    .expect("record requested"))
+            }
+
+            /// Executes `steps` scheduled interactions without building
+            /// per-step records (the trace, if enabled, is still filled).
+            ///
+            /// # Errors
+            ///
+            /// Same conditions as [`step`](Self::step).
+            pub fn run(&mut self, steps: u64) -> Result<(), EngineError> {
+                for _ in 0..steps {
+                    let n = self.config.len();
+                    let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                    let fault = self.next_fault();
+                    self.execute(interaction, fault, false)?;
+                }
+                Ok(())
+            }
+
+            /// Runs until `predicate` holds on the configuration (checked
+            /// before the first step and after every step) or `max_steps`
+            /// further interactions have executed.
+            pub fn run_until(
+                &mut self,
+                max_steps: u64,
+                mut predicate: impl FnMut(&Configuration<P::State>) -> bool,
+            ) -> RunOutcome {
+                if predicate(&self.config) {
+                    return RunOutcome::Satisfied {
+                        steps: self.next_index,
+                    };
+                }
+                for _ in 0..max_steps {
+                    let n = self.config.len();
+                    let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                    let fault = self.next_fault();
+                    if self.execute(interaction, fault, false).is_err() {
+                        break;
+                    }
+                    if predicate(&self.config) {
+                        return RunOutcome::Satisfied {
+                            steps: self.next_index,
+                        };
+                    }
+                }
+                RunOutcome::Exhausted {
+                    steps: self.next_index,
+                }
+            }
+
+            /// Runs until no interaction has changed any state for
+            /// `window` consecutive steps ("observed stability"), or
+            /// `max_steps` interactions have executed.
+            ///
+            /// Observed stability is a heuristic convergence signal: a
+            /// silent window proves nothing for adversarial schedulers,
+            /// but under the uniform scheduler the probability that a
+            /// non-silent system stays quiet for a long window decays
+            /// exponentially. For exact convergence verification use the
+            /// model checker in `ppfts-verify`.
+            pub fn run_until_stable(&mut self, max_steps: u64, window: u64) -> RunOutcome {
+                let mut quiet = 0u64;
+                for _ in 0..max_steps {
+                    let n = self.config.len();
+                    let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                    let fault = self.next_fault();
+                    let before = self.stats.changed_steps;
+                    if self.execute(interaction, fault, false).is_err() {
+                        break;
+                    }
+                    if self.stats.changed_steps > before {
+                        quiet = 0;
+                    } else {
+                        quiet += 1;
+                        if quiet >= window {
+                            return RunOutcome::Satisfied {
+                                steps: self.next_index,
+                            };
+                        }
+                    }
+                }
+                RunOutcome::Exhausted {
+                    steps: self.next_index,
+                }
+            }
+
+            /// Executes an exact pre-planned sequence, bypassing the
+            /// scheduler and the adversary. Used by the paper's adversarial
+            /// constructions, where both the interactions and the omissions
+            /// are chosen by the proof.
+            ///
+            /// # Errors
+            ///
+            /// Fails if a planned fault is outside the model's transition
+            /// relation or an endpoint is out of bounds; earlier planned
+            /// steps remain applied.
+            pub fn apply_planned(
+                &mut self,
+                plan: impl IntoIterator<Item = Planned<$Fault>>,
+            ) -> Result<(), EngineError> {
+                for p in plan {
+                    self.execute(p.interaction, p.fault, false)?;
+                }
+                Ok(())
+            }
+        }
+
+        /// Builder for the runner; see `builder` on the runner type.
+        pub struct $Builder<P: $Program, S, A> {
+            model: $Model,
+            program: P,
+            config: Option<Configuration<P::State>>,
+            scheduler: S,
+            adversary: A,
+            side_policy: SidePolicy,
+            seed: u64,
+            record_trace: bool,
+        }
+
+        impl<P, S, A> $Builder<P, S, A>
+        where
+            P: $Program,
+            S: Scheduler,
+            A: OmissionStrategy,
+        {
+            /// Sets the initial configuration (required).
+            pub fn config(mut self, config: Configuration<P::State>) -> Self {
+                self.config = Some(config);
+                self
+            }
+
+            /// Replaces the scheduler (default: [`UniformScheduler`]).
+            pub fn scheduler<S2: Scheduler>(self, scheduler: S2) -> $Builder<P, S2, A> {
+                $Builder {
+                    model: self.model,
+                    program: self.program,
+                    config: self.config,
+                    scheduler,
+                    adversary: self.adversary,
+                    side_policy: self.side_policy,
+                    seed: self.seed,
+                    record_trace: self.record_trace,
+                }
+            }
+
+            /// Replaces the omission adversary (default: [`NoOmissions`]).
+            /// Only consulted when the model's relation has omissive
+            /// outcomes.
+            pub fn adversary<A2: OmissionStrategy>(self, adversary: A2) -> $Builder<P, S, A2> {
+                $Builder {
+                    model: self.model,
+                    program: self.program,
+                    config: self.config,
+                    scheduler: self.scheduler,
+                    adversary,
+                    side_policy: self.side_policy,
+                    seed: self.seed,
+                    record_trace: self.record_trace,
+                }
+            }
+
+            /// Sets the side policy used to concretize omissions in
+            /// two-way models (ignored by one-way runners).
+            pub fn side_policy(mut self, policy: SidePolicy) -> Self {
+                self.side_policy = policy;
+                self
+            }
+
+            /// Seeds the runner's RNG (scheduler + adversary randomness).
+            pub fn seed(mut self, seed: u64) -> Self {
+                self.seed = seed;
+                self
+            }
+
+            /// Enables trace recording.
+            pub fn record_trace(mut self, record: bool) -> Self {
+                self.record_trace = record;
+                self
+            }
+
+            /// Builds the runner.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`EngineError::InvalidPopulation`] if no
+            /// configuration was supplied or it has fewer than two agents.
+            pub fn build(self) -> Result<$Runner<P, S, A>, EngineError> {
+                let config = self.config.unwrap_or_else(|| Configuration::new(vec![]));
+                if config.len() < 2 {
+                    return Err(EngineError::InvalidPopulation { len: config.len() });
+                }
+                Ok($Runner {
+                    model: self.model,
+                    program: self.program,
+                    config,
+                    scheduler: self.scheduler,
+                    adversary: self.adversary,
+                    side_policy: self.side_policy,
+                    rng: SmallRng::seed_from_u64(self.seed),
+                    next_index: 0,
+                    stats: RunStats::default(),
+                    trace: if self.record_trace {
+                        Some(Trace::new())
+                    } else {
+                        None
+                    },
+                })
+            }
+        }
+    };
+}
+
+fn is_omissive<F: FaultLike>(f: &F) -> bool {
+    f.omissive()
+}
+
+trait FaultLike {
+    fn omissive(&self) -> bool;
+}
+
+impl FaultLike for OneWayFault {
+    fn omissive(&self) -> bool {
+        self.is_omissive()
+    }
+}
+
+impl FaultLike for TwoWayFault {
+    fn omissive(&self) -> bool {
+        self.is_omissive()
+    }
+}
+
+runner_impl! {
+    /// Execution driver for the one-way family (IT, IO, I1–I4).
+    ///
+    /// See the `runner` module docs for the shared runner surface and
+    /// the crate example for end-to-end usage.
+    runner: OneWayRunner,
+    builder: OneWayRunnerBuilder,
+    model: OneWayModel,
+    fault: OneWayFault,
+    program: OneWayProgram,
+    compute: |this, _i, fault, s, r| outcome::one_way(this.model, &this.program, s, r, fault),
+    decide: |this| {
+        if this.model.allows_omissions()
+            && this.adversary.decide(this.next_index, &mut this.rng)
+        {
+            OneWayFault::Omission
+        } else {
+            OneWayFault::None
+        }
+    },
+}
+
+runner_impl! {
+    /// Execution driver for the two-way family (TW, T1–T3).
+    ///
+    /// In omissive two-way models the adversary decides *whether* a step is
+    /// omissive and the builder's [`SidePolicy`] decides *which side(s)*
+    /// lose the transmission.
+    runner: TwoWayRunner,
+    builder: TwoWayRunnerBuilder,
+    model: TwoWayModel,
+    fault: TwoWayFault,
+    program: TwoWayProgram,
+    compute: |this, _i, fault, s, r| outcome::two_way(this.model, &this.program, s, r, fault),
+    decide: |this| {
+        if this.model.allows_omissions()
+            && this.adversary.decide(this.next_index, &mut this.rng)
+        {
+            this.side_policy.pick(this.model, &mut this.rng)
+        } else {
+            TwoWayFault::None
+        }
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtMostOneStrategy, RateStrategy, ScriptedOmissions, ScriptedScheduler};
+    use ppfts_population::TableProtocol;
+
+    struct Epidemic;
+    impl OneWayProgram for Epidemic {
+        type State = bool;
+        fn on_receive(&self, s: &bool, r: &bool) -> bool {
+            *s || *r
+        }
+    }
+
+    fn pairing() -> TableProtocol<char> {
+        TableProtocol::builder(vec!['s', 'c', 'p', '_'])
+            .rule(('c', 'p'), ('s', '_'))
+            .rule(('p', 'c'), ('_', 's'))
+            .build()
+    }
+
+    #[test]
+    fn epidemic_converges_under_io() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false, false, false, false]))
+            .seed(1)
+            .build()
+            .unwrap();
+        let out = runner.run_until(100_000, |c| c.as_slice().iter().all(|b| *b));
+        assert!(out.is_satisfied());
+        assert!(out.steps() >= 4, "needs at least one delivery per agent");
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let run = |seed: u64| {
+            let mut r = OneWayRunner::builder(OneWayModel::I3, Epidemic)
+                .config(Configuration::new(vec![true, false, false, false]))
+                .adversary(RateStrategy::new(0.3))
+                .seed(seed)
+                .build()
+                .unwrap();
+            r.run(500).unwrap();
+            (r.config().clone(), r.stats())
+        };
+        assert_eq!(run(42), run(42));
+        let (_, s1) = run(42);
+        let (_, s2) = run(43);
+        assert_ne!((s1.omissive_steps, s1.changed_steps), (s2.omissive_steps, s2.changed_steps));
+    }
+
+    #[test]
+    fn adversary_is_not_consulted_in_fault_free_models() {
+        // An always-omissive adversary under IO must cause no faults:
+        // the model's relation has no omissive outcomes.
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false]))
+            .adversary(RateStrategy::new(1.0))
+            .seed(3)
+            .build()
+            .unwrap();
+        runner.run(100).unwrap();
+        assert_eq!(runner.stats().omissive_steps, 0);
+        assert_eq!(runner.adversary().injected(), 0);
+    }
+
+    #[test]
+    fn omissions_fire_in_omissive_models() {
+        let mut runner = OneWayRunner::builder(OneWayModel::I1, Epidemic)
+            .config(Configuration::new(vec![true, false]))
+            .adversary(RateStrategy::new(1.0))
+            .seed(3)
+            .build()
+            .unwrap();
+        runner.run(50).unwrap();
+        assert_eq!(runner.stats().omissive_steps, 50);
+        // Under I1 with all transmissions lost, the epidemic never spreads.
+        assert_eq!(runner.config().as_slice(), &[true, false]);
+    }
+
+    #[test]
+    fn planned_steps_execute_verbatim() {
+        let mut runner = OneWayRunner::builder(OneWayModel::I3, Epidemic)
+            .config(Configuration::new(vec![true, false, false]))
+            .record_trace(true)
+            .build()
+            .unwrap();
+        let plan = vec![
+            Planned::omission(Interaction::new(0, 1).unwrap()),
+            Planned::ok(Interaction::new(0, 2).unwrap()),
+        ];
+        runner.apply_planned(plan).unwrap();
+        // Omission blocked agent 1; delivery infected agent 2.
+        assert_eq!(runner.config().as_slice(), &[true, false, true]);
+        let trace = runner.trace().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(trace.records()[0].fault.is_omissive());
+        assert!(!trace.records()[1].fault.is_omissive());
+    }
+
+    #[test]
+    fn planned_omission_in_io_is_rejected() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false]))
+            .build()
+            .unwrap();
+        let err = runner
+            .apply_planned([Planned::omission(Interaction::new(0, 1).unwrap())])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::FaultNotInRelation { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_tiny_populations() {
+        let err = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true]))
+            .build();
+        assert!(matches!(
+            err,
+            Err(EngineError::InvalidPopulation { len: 1 })
+        ));
+        let err = OneWayRunner::builder(OneWayModel::Io, Epidemic).build();
+        assert!(matches!(
+            err,
+            Err(EngineError::InvalidPopulation { len: 0 })
+        ));
+    }
+
+    #[test]
+    fn two_way_pairing_converges_under_tw() {
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, pairing())
+            .config(Configuration::from_groups([('c', 3), ('p', 2)]))
+            .seed(7)
+            .build()
+            .unwrap();
+        let out = runner.run_until(100_000, |c| c.count_state(&'s') == 2);
+        assert!(out.is_satisfied());
+        // Safety: never more paired consumers than producers.
+        assert_eq!(runner.config().count_state(&'s'), 2);
+        assert_eq!(runner.config().count_state(&'_'), 2);
+        assert_eq!(runner.config().count_state(&'c'), 1);
+    }
+
+    #[test]
+    fn two_way_scripted_omission_changes_outcome() {
+        // (c, p) meet but the reactor side omits: in T1 the starter still
+        // applies fs, turning c -> s while p survives — the exact hazard
+        // the paper's impossibility proofs exploit.
+        let script = ScriptedScheduler::new(
+            vec![Interaction::new(0, 1).unwrap()],
+            UniformScheduler::new(),
+        );
+        let mut runner = TwoWayRunner::builder(TwoWayModel::T1, pairing())
+            .config(Configuration::new(vec!['c', 'p']))
+            .scheduler(script)
+            .adversary(ScriptedOmissions::new([0]))
+            .side_policy(SidePolicy::Always(TwoWayFault::Reactor))
+            .build()
+            .unwrap();
+        let rec = runner.step().unwrap();
+        assert_eq!(rec.fault, TwoWayFault::Reactor);
+        assert_eq!(runner.config().as_slice(), &['s', 'p']);
+    }
+
+    #[test]
+    fn run_until_checks_initial_configuration() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, true]))
+            .build()
+            .unwrap();
+        let out = runner.run_until(10, |c| c.as_slice().iter().all(|b| *b));
+        assert_eq!(out, RunOutcome::Satisfied { steps: 0 });
+    }
+
+    #[test]
+    fn run_until_exhausts_budget() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![false, false]))
+            .build()
+            .unwrap();
+        let out = runner.run_until(25, |c| c.as_slice().iter().any(|b| *b));
+        assert_eq!(out, RunOutcome::Exhausted { steps: 25 });
+        assert!(!out.is_satisfied());
+    }
+
+    #[test]
+    fn at_most_one_injects_single_omission() {
+        let mut runner = OneWayRunner::builder(OneWayModel::I1, Epidemic)
+            .config(Configuration::new(vec![true, false, false]))
+            .adversary(AtMostOneStrategy::at_step(0))
+            .seed(5)
+            .build()
+            .unwrap();
+        runner.run(200).unwrap();
+        assert_eq!(runner.stats().omissive_steps, 1);
+        assert_eq!(runner.adversary().injected(), 1);
+    }
+
+    #[test]
+    fn take_trace_leaves_tracing_enabled() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false]))
+            .record_trace(true)
+            .build()
+            .unwrap();
+        runner.run(3).unwrap();
+        let t1 = runner.take_trace().unwrap();
+        assert_eq!(t1.len(), 3);
+        runner.run(2).unwrap();
+        let t2 = runner.take_trace().unwrap();
+        assert_eq!(t2.len(), 2);
+    }
+
+    #[test]
+    fn stats_count_noops_and_changes() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, true]))
+            .build()
+            .unwrap();
+        runner.run(10).unwrap();
+        // Everyone already infected: every step is a no-op.
+        assert_eq!(runner.stats().noop_steps, 10);
+        assert_eq!(runner.stats().changed_steps, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Schedulers: who meets whom next.
+//!
+//! The PP literature abstracts agent mobility as an adversarial but
+//! *globally fair* (GF) scheduler. The workhorse here is
+//! [`UniformScheduler`]: picking each ordered pair uniformly at random
+//! yields a globally fair execution with probability 1 (every configuration
+//! set that stays reachable infinitely often is entered infinitely often),
+//! which is the standard probabilistic realization of GF used throughout
+//! the literature. [`ScriptedScheduler`] realizes the *specific* interaction
+//! sequences that the paper's impossibility constructions require, and
+//! [`RoundRobinScheduler`] provides a deterministic fair rotation useful in
+//! ablation benches.
+
+use std::collections::VecDeque;
+
+use ppfts_population::Interaction;
+use rand::{Rng, RngCore};
+
+/// A source of interactions for a population of `n` agents.
+///
+/// Implementations must return a valid interaction for the given `n`
+/// (distinct endpoints, both `< n`). The runner passes its own seeded RNG,
+/// so schedulers themselves stay stateless with respect to randomness and
+/// runs remain reproducible from a single seed.
+pub trait Scheduler {
+    /// Produces the next interaction for a population of `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `n < 2`; runners validate population
+    /// size at construction.
+    fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction {
+        (**self).next_interaction(n, rng)
+    }
+}
+
+/// Uniform-random ordered pairs: the probabilistic realization of global
+/// fairness.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::{Scheduler, UniformScheduler};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut sched = UniformScheduler::new();
+/// let i = sched.next_interaction(5, &mut rng);
+/// assert_ne!(i.starter(), i.reactor());
+/// assert!(i.starter().index() < 5 && i.reactor().index() < 5);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformScheduler;
+
+impl UniformScheduler {
+    /// Creates a uniform scheduler.
+    pub fn new() -> Self {
+        UniformScheduler
+    }
+}
+
+impl Scheduler for UniformScheduler {
+    fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction {
+        assert!(n >= 2, "population must have at least 2 agents");
+        let s = rng.gen_range(0..n);
+        let mut r = rng.gen_range(0..n - 1);
+        if r >= s {
+            r += 1;
+        }
+        Interaction::new(s, r).expect("distinct by construction")
+    }
+}
+
+/// Plays a fixed script of interactions, then falls back to an inner
+/// scheduler.
+///
+/// This is the scheduler used to realize the runs `I`, `I_k` and `I*` of
+/// the paper's Lemma 1 / Theorem 3.2 constructions: a finite, adversarially
+/// chosen prefix followed by an arbitrary globally fair continuation.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::{Scheduler, ScriptedScheduler, UniformScheduler};
+/// use ppfts_population::Interaction;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let script = vec![Interaction::new(0, 1)?, Interaction::new(1, 0)?];
+/// let mut sched = ScriptedScheduler::new(script, UniformScheduler::new());
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// assert_eq!(sched.next_interaction(4, &mut rng), Interaction::new(0, 1)?);
+/// assert_eq!(sched.next_interaction(4, &mut rng), Interaction::new(1, 0)?);
+/// assert_eq!(sched.remaining_script(), 0); // further calls use the fallback
+/// # Ok::<(), ppfts_population::PopulationError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScriptedScheduler<F = UniformScheduler> {
+    script: VecDeque<Interaction>,
+    fallback: F,
+}
+
+impl<F: Scheduler> ScriptedScheduler<F> {
+    /// Creates a scheduler that plays `script` in order, then delegates to
+    /// `fallback` forever.
+    pub fn new(script: impl IntoIterator<Item = Interaction>, fallback: F) -> Self {
+        ScriptedScheduler {
+            script: script.into_iter().collect(),
+            fallback,
+        }
+    }
+
+    /// Number of scripted interactions not yet played.
+    pub fn remaining_script(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl<F: Scheduler> Scheduler for ScriptedScheduler<F> {
+    fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction {
+        match self.script.pop_front() {
+            Some(i) => {
+                debug_assert!(i.check_bounds(n).is_ok(), "scripted interaction out of bounds");
+                i
+            }
+            None => self.fallback.next_interaction(n, rng),
+        }
+    }
+}
+
+/// Deterministic fair rotation: deals every ordered pair once per round,
+/// in a per-round shuffled order.
+///
+/// Unlike [`UniformScheduler`] this guarantees a hard fairness bound —
+/// every ordered pair occurs exactly once every `n·(n-1)` steps — at the
+/// cost of less realistic mobility. Used by the scheduler-ablation bench
+/// (DESIGN.md D3).
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::{RoundRobinScheduler, Scheduler};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let mut sched = RoundRobinScheduler::new();
+/// let mut seen = std::collections::HashSet::new();
+/// for _ in 0..6 {
+///     seen.insert(sched.next_interaction(3, &mut rng));
+/// }
+/// assert_eq!(seen.len(), 6); // all 3·2 ordered pairs in one round
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinScheduler {
+    round: Vec<Interaction>,
+    n: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobinScheduler {
+            round: Vec::new(),
+            n: 0,
+        }
+    }
+
+    fn refill(&mut self, n: usize, rng: &mut dyn RngCore) {
+        self.n = n;
+        self.round.clear();
+        for s in 0..n {
+            for r in 0..n {
+                if s != r {
+                    self.round
+                        .push(Interaction::new(s, r).expect("distinct by construction"));
+                }
+            }
+        }
+        // Fisher–Yates using the shared RNG; drawing from the back below.
+        for i in (1..self.round.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.round.swap(i, j);
+        }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction {
+        assert!(n >= 2, "population must have at least 2 agents");
+        if self.round.is_empty() || self.n != n {
+            self.refill(n, rng);
+        }
+        self.round.pop().expect("refilled above")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_all_pairs() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut sched = UniformScheduler::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(sched.next_interaction(4, &mut rng));
+        }
+        assert_eq!(seen.len(), 12, "all 4·3 ordered pairs should appear");
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut sched = UniformScheduler::new();
+        let mut counts = std::collections::HashMap::new();
+        let trials = 12_000;
+        for _ in 0..trials {
+            *counts.entry(sched.next_interaction(3, &mut rng)).or_insert(0u32) += 1;
+        }
+        let expect = trials as f64 / 6.0;
+        for (_, c) in counts {
+            assert!((c as f64) > expect * 0.8 && (c as f64) < expect * 1.2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 agents")]
+    fn uniform_rejects_singleton() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        UniformScheduler::new().next_interaction(1, &mut rng);
+    }
+
+    #[test]
+    fn scripted_plays_then_falls_back() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let script = vec![
+            Interaction::new(2, 0).unwrap(),
+            Interaction::new(0, 1).unwrap(),
+        ];
+        let mut sched = ScriptedScheduler::new(script.clone(), UniformScheduler::new());
+        assert_eq!(sched.next_interaction(3, &mut rng), script[0]);
+        assert_eq!(sched.remaining_script(), 1);
+        assert_eq!(sched.next_interaction(3, &mut rng), script[1]);
+        // Fallback still yields valid interactions.
+        let i = sched.next_interaction(3, &mut rng);
+        assert!(i.check_bounds(3).is_ok());
+    }
+
+    #[test]
+    fn round_robin_round_is_a_permutation_of_all_pairs() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sched = RoundRobinScheduler::new();
+        for _round in 0..3 {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..20 {
+                assert!(seen.insert(sched.next_interaction(5, &mut rng)));
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_adapts_to_population_change() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut sched = RoundRobinScheduler::new();
+        let i = sched.next_interaction(6, &mut rng);
+        assert!(i.check_bounds(6).is_ok());
+        // Shrinking the population mid-run re-deals a fresh round in bounds.
+        for _ in 0..10 {
+            let j = sched.next_interaction(2, &mut rng);
+            assert!(j.check_bounds(2).is_ok());
+        }
+    }
+}

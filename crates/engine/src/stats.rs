@@ -1,0 +1,112 @@
+//! Run statistics.
+
+use std::fmt;
+
+/// Counters accumulated by a runner across its execution.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::RunStats;
+///
+/// let mut stats = RunStats::default();
+/// stats.record(false, true);
+/// stats.record(true, false);
+/// assert_eq!(stats.steps, 2);
+/// assert_eq!(stats.omissive_steps, 1);
+/// assert_eq!(stats.changed_steps, 1);
+/// assert_eq!(stats.noop_steps, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total interactions executed.
+    pub steps: u64,
+    /// Interactions decorated with an omission.
+    pub omissive_steps: u64,
+    /// Interactions that changed at least one endpoint's state.
+    pub changed_steps: u64,
+    /// Interactions that left both endpoints unchanged.
+    pub noop_steps: u64,
+}
+
+impl RunStats {
+    /// Records one executed interaction.
+    pub fn record(&mut self, omissive: bool, changed: bool) {
+        self.steps += 1;
+        self.omissive_steps += omissive as u64;
+        if changed {
+            self.changed_steps += 1;
+        } else {
+            self.noop_steps += 1;
+        }
+    }
+
+    /// Adds another stats block into this one (e.g. across batch seeds).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.steps += other.steps;
+        self.omissive_steps += other.omissive_steps;
+        self.changed_steps += other.changed_steps;
+        self.noop_steps += other.noop_steps;
+    }
+
+    /// Fraction of steps that were omissive (0 if no steps ran).
+    pub fn omission_fraction(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.omissive_steps as f64 / self.steps as f64
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} steps ({} omissive, {} changed, {} no-op)",
+            self.steps, self.omissive_steps, self.changed_steps, self.noop_steps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = RunStats {
+            steps: 10,
+            omissive_steps: 2,
+            changed_steps: 7,
+            noop_steps: 3,
+        };
+        let b = RunStats {
+            steps: 5,
+            omissive_steps: 1,
+            changed_steps: 5,
+            noop_steps: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.steps, 15);
+        assert_eq!(a.omissive_steps, 3);
+        assert_eq!(a.changed_steps, 12);
+        assert_eq!(a.noop_steps, 3);
+    }
+
+    #[test]
+    fn omission_fraction_handles_zero() {
+        assert_eq!(RunStats::default().omission_fraction(), 0.0);
+        let mut s = RunStats::default();
+        s.record(true, true);
+        s.record(false, true);
+        assert!((s.omission_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut s = RunStats::default();
+        s.record(false, false);
+        assert_eq!(s.to_string(), "1 steps (0 omissive, 0 changed, 1 no-op)");
+    }
+}

@@ -1,0 +1,223 @@
+//! Execution traces.
+
+use ppfts_population::{AgentId, Interaction, State};
+
+/// Everything that happened in one executed interaction.
+///
+/// The fault type `F` is [`TwoWayFault`](crate::TwoWayFault) or
+/// [`OneWayFault`](crate::OneWayFault) depending on the runner family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepRecord<Q: State, F> {
+    /// Zero-based index of this interaction in the run.
+    pub index: u64,
+    /// The interacting pair.
+    pub interaction: Interaction,
+    /// Fault decoration applied by the adversary.
+    pub fault: F,
+    /// Starter's state before the interaction.
+    pub old_starter: Q,
+    /// Reactor's state before the interaction.
+    pub old_reactor: Q,
+    /// Starter's state after the interaction.
+    pub new_starter: Q,
+    /// Reactor's state after the interaction.
+    pub new_reactor: Q,
+}
+
+impl<Q: State, F> StepRecord<Q, F> {
+    /// Whether either endpoint changed state.
+    pub fn changed(&self) -> bool {
+        self.old_starter != self.new_starter || self.old_reactor != self.new_reactor
+    }
+
+    /// The `(before, after)` states of `agent`, if it took part.
+    pub fn states_of(&self, agent: AgentId) -> Option<(&Q, &Q)> {
+        if self.interaction.starter() == agent {
+            Some((&self.old_starter, &self.new_starter))
+        } else if self.interaction.reactor() == agent {
+            Some((&self.old_reactor, &self.new_reactor))
+        } else {
+            None
+        }
+    }
+}
+
+/// An in-memory log of executed interactions.
+///
+/// Traces are optional (recording clones both endpoint states twice per
+/// step); enable them on a runner with `enable_trace` when a posteriori
+/// analysis — event extraction, matching construction, attack forensics —
+/// is needed.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::{StepRecord, Trace};
+/// use ppfts_engine::OneWayFault;
+/// use ppfts_population::Interaction;
+///
+/// let mut trace: Trace<u8, OneWayFault> = Trace::new();
+/// trace.push(StepRecord {
+///     index: 0,
+///     interaction: Interaction::new(0, 1)?,
+///     fault: OneWayFault::Omission,
+///     old_starter: 1, old_reactor: 0,
+///     new_starter: 1, new_reactor: 0,
+/// });
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.omissive_count(|f| f.is_omissive()), 1);
+/// assert_eq!(trace.changed_count(), 0);
+/// # Ok::<(), ppfts_population::PopulationError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace<Q: State, F> {
+    records: Vec<StepRecord<Q, F>>,
+}
+
+impl<Q: State, F> Default for Trace<Q, F> {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl<Q: State, F> Trace<Q, F> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace {
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: StepRecord<Q, F>) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in execution order.
+    pub fn records(&self) -> &[StepRecord<Q, F>] {
+        &self.records
+    }
+
+    /// Iterates over records in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, StepRecord<Q, F>> {
+        self.records.iter()
+    }
+
+    /// The most recent record.
+    pub fn last(&self) -> Option<&StepRecord<Q, F>> {
+        self.records.last()
+    }
+
+    /// Number of steps whose fault satisfies `is_omissive`.
+    pub fn omissive_count(&self, mut is_omissive: impl FnMut(&F) -> bool) -> usize {
+        self.records.iter().filter(|r| is_omissive(&r.fault)).count()
+    }
+
+    /// Number of steps that changed at least one endpoint.
+    pub fn changed_count(&self) -> usize {
+        self.records.iter().filter(|r| r.changed()).count()
+    }
+
+    /// Records involving `agent`, in execution order.
+    pub fn involving(&self, agent: AgentId) -> Vec<&StepRecord<Q, F>> {
+        self.records
+            .iter()
+            .filter(|r| r.interaction.involves(agent))
+            .collect()
+    }
+}
+
+impl<Q: State, F> Extend<StepRecord<Q, F>> for Trace<Q, F> {
+    fn extend<I: IntoIterator<Item = StepRecord<Q, F>>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl<Q: State, F> IntoIterator for Trace<Q, F> {
+    type Item = StepRecord<Q, F>;
+    type IntoIter = std::vec::IntoIter<StepRecord<Q, F>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl<'a, Q: State, F> IntoIterator for &'a Trace<Q, F> {
+    type Item = &'a StepRecord<Q, F>;
+    type IntoIter = std::slice::Iter<'a, StepRecord<Q, F>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OneWayFault;
+
+    fn rec(index: u64, s: usize, r: usize, fault: OneWayFault, delta: bool) -> StepRecord<u8, OneWayFault> {
+        StepRecord {
+            index,
+            interaction: Interaction::new(s, r).unwrap(),
+            fault,
+            old_starter: 0,
+            old_reactor: 0,
+            new_starter: 0,
+            new_reactor: delta as u8,
+        }
+    }
+
+    #[test]
+    fn counts_changed_and_omissive() {
+        let mut t = Trace::new();
+        t.push(rec(0, 0, 1, OneWayFault::None, true));
+        t.push(rec(1, 1, 2, OneWayFault::Omission, false));
+        t.push(rec(2, 2, 0, OneWayFault::None, false));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.changed_count(), 1);
+        assert_eq!(t.omissive_count(|f| f.is_omissive()), 1);
+    }
+
+    #[test]
+    fn involving_filters_by_agent() {
+        let mut t = Trace::new();
+        t.push(rec(0, 0, 1, OneWayFault::None, true));
+        t.push(rec(1, 1, 2, OneWayFault::None, true));
+        t.push(rec(2, 2, 0, OneWayFault::None, true));
+        assert_eq!(t.involving(AgentId::new(0)).len(), 2);
+        assert_eq!(t.involving(AgentId::new(3)).len(), 0);
+    }
+
+    #[test]
+    fn states_of_distinguishes_roles() {
+        let mut r = rec(0, 4, 5, OneWayFault::None, true);
+        r.old_starter = 10;
+        r.new_starter = 11;
+        r.old_reactor = 20;
+        r.new_reactor = 21;
+        assert_eq!(r.states_of(AgentId::new(4)), Some((&10, &11)));
+        assert_eq!(r.states_of(AgentId::new(5)), Some((&20, &21)));
+        assert_eq!(r.states_of(AgentId::new(6)), None);
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let mut t = Trace::new();
+        t.extend([
+            rec(0, 0, 1, OneWayFault::None, false),
+            rec(1, 0, 1, OneWayFault::None, false),
+        ]);
+        let idx: Vec<u64> = t.iter().map(|r| r.index).collect();
+        assert_eq!(idx, vec![0, 1]);
+        assert_eq!(t.last().unwrap().index, 1);
+    }
+}

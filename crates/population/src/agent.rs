@@ -1,0 +1,78 @@
+//! Agent identifiers.
+
+use std::fmt;
+
+/// Index of an agent within a population.
+///
+/// Agents in population protocols are *anonymous*: an `AgentId` is a handle
+/// used by schedulers, traces and verifiers to refer to a position in a
+/// [`Configuration`](crate::Configuration), not a piece of information
+/// available to the protocol itself. Protocols that assume unique IDs (such
+/// as the `SID` simulator of the reproduced paper) must carry those IDs in
+/// their *state*, where they are subject to the usual protocol rules.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_population::AgentId;
+///
+/// let a = AgentId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "a3");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// Creates an identifier for the agent at position `index`.
+    pub const fn new(index: usize) -> Self {
+        AgentId(index)
+    }
+
+    /// Position of this agent within its configuration.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for AgentId {
+    fn from(index: usize) -> Self {
+        AgentId(index)
+    }
+}
+
+impl From<AgentId> for usize {
+    fn from(id: AgentId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let id = AgentId::from(7usize);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(AgentId::new(1) < AgentId::new(2));
+        assert_eq!(AgentId::new(5), AgentId::new(5));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(AgentId::new(0).to_string(), "a0");
+        assert_eq!(format!("{:?}", AgentId::new(2)), "AgentId(2)");
+    }
+}

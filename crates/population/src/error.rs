@@ -1,0 +1,78 @@
+//! Error type for population-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or manipulating populations.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_population::{Interaction, PopulationError};
+///
+/// let err = Interaction::new(2, 2).unwrap_err();
+/// assert!(matches!(err, PopulationError::SelfInteraction { agent: 2 }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PopulationError {
+    /// A population must contain at least two agents to interact.
+    PopulationTooSmall {
+        /// Number of agents supplied.
+        len: usize,
+    },
+    /// An agent index referred outside the configuration.
+    AgentOutOfBounds {
+        /// The offending index.
+        agent: usize,
+        /// Size of the population.
+        len: usize,
+    },
+    /// An interaction requires two *distinct* agents.
+    SelfInteraction {
+        /// The index that appeared as both starter and reactor.
+        agent: usize,
+    },
+}
+
+impl fmt::Display for PopulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopulationError::PopulationTooSmall { len } => {
+                write!(f, "population of {len} agent(s) cannot interact; need at least 2")
+            }
+            PopulationError::AgentOutOfBounds { agent, len } => {
+                write!(f, "agent index {agent} out of bounds for population of {len}")
+            }
+            PopulationError::SelfInteraction { agent } => {
+                write!(f, "agent {agent} cannot interact with itself")
+            }
+        }
+    }
+}
+
+impl Error for PopulationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_concise() {
+        let msgs = [
+            PopulationError::PopulationTooSmall { len: 1 }.to_string(),
+            PopulationError::AgentOutOfBounds { agent: 9, len: 4 }.to_string(),
+            PopulationError::SelfInteraction { agent: 3 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PopulationError>();
+    }
+}

@@ -1,0 +1,68 @@
+//! Core data model for population protocols.
+//!
+//! A *population protocol* (Angluin et al., "Computation in networks of
+//! passively mobile finite-state sensors") is a collection of `n` anonymous
+//! agents, each holding a local state from a set `Q`. An external scheduler
+//! repeatedly picks an ordered pair of agents — the *starter* and the
+//! *reactor* — and the pair atomically updates its states according to a
+//! joint transition function `δ: Q × Q → Q × Q`.
+//!
+//! This crate provides the protocol-level vocabulary shared by the whole
+//! `ppfts` workspace:
+//!
+//! * [`AgentId`] — index of an agent within a population,
+//! * [`Interaction`] — an ordered (starter, reactor) pair,
+//! * [`Configuration`] — the vector of local states of all agents,
+//! * [`Multiset`] — order-insensitive view of a configuration,
+//! * [`TwoWayProtocol`] — the transition function `δ_P` of a protocol in the
+//!   standard two-way model,
+//! * [`Semantics`] — input/output conventions used to state correctness
+//!   ("the population stably computes ..."),
+//! * [`DeltaRule`]/[`TableProtocol`] — table-driven protocol construction.
+//!
+//! The *interaction models* (two-way, immediate transmission/observation,
+//! and their omissive weakenings) live in `ppfts-engine`; the fault-tolerant
+//! simulators that are the subject of the reproduced paper live in
+//! `ppfts-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use ppfts_population::{Configuration, Interaction, TwoWayProtocol};
+//!
+//! /// One-bit epidemic: an infected starter infects the reactor.
+//! struct Epidemic;
+//!
+//! impl TwoWayProtocol for Epidemic {
+//!     type State = bool;
+//!     fn delta(&self, s: &bool, r: &bool) -> (bool, bool) {
+//!         (*s, *s || *r)
+//!     }
+//! }
+//!
+//! let mut config = Configuration::new(vec![true, false, false]);
+//! let i = Interaction::new(0, 2).unwrap();
+//! config.apply(&Epidemic, i).unwrap();
+//! assert_eq!(config.as_slice(), &[true, false, true]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod config;
+mod error;
+mod interaction;
+mod multiset;
+mod protocol;
+mod semantics;
+mod state;
+
+pub use agent::AgentId;
+pub use config::Configuration;
+pub use error::PopulationError;
+pub use interaction::Interaction;
+pub use multiset::Multiset;
+pub use protocol::{DeltaRule, FunctionProtocol, SymmetryReport, TableProtocol, TwoWayProtocol};
+pub use semantics::{unanimous_output, ConsensusOutput, Semantics};
+pub use state::{EnumerableStates, State};

@@ -1,0 +1,43 @@
+//! Verification and adversarial constructions for population-protocol
+//! simulation.
+//!
+//! This crate holds both halves of the reproduced paper's evidence:
+//!
+//! * **Positive** — checkers that certify a simulator run really simulated
+//!   its two-way protocol:
+//!   [`audit_pairing`] enforces the
+//!   Pairing problem's irrevocability/safety/liveness (Definition 5)
+//!   step-by-step; [`model_check`] explores the *exact*
+//!   reachable configuration graph of small systems and decides
+//!   stabilization under global fairness via terminal strongly-connected
+//!   components.
+//! * **Negative** — the impossibility constructions of §3 as executable
+//!   attack builders: [`attack::lemma1_attack`] assembles the run `I*` of
+//!   Lemma 1 / Theorem 3.1 and drives a real simulator into a Pairing
+//!   *safety violation*; [`attack::no1_resilience`] and the
+//!   omission-free Theorem 3.2 variant expose the dichotomy in the weak
+//!   models I1/I2 (either a candidate is not NO1-resilient, or it can be
+//!   made unsafe without a single omission); [`optimist::Optimist`] is the
+//!   retransmission-based strawman simulator that realizes the unsafe horn
+//!   of that dichotomy.
+//!
+//! The experiment harness in `ppfts-bench` prints these results in the
+//! shape of the paper's Figure 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod attack;
+pub mod model_check;
+pub mod optimist;
+pub mod pairing_audit;
+
+pub use ablation::{always_elects_one_leader, rummy_ablation, sid_leader_graph, RummyAblation};
+pub use attack::{
+    degradation_report, lemma1_attack, no1_resilience, thm32_attack, AttackOutcome, AttackReport,
+    DegradationReport,
+};
+pub use model_check::{explore_one_way, explore_two_way, ExploreError, StateGraph};
+pub use optimist::{Optimist, OptimistState};
+pub use pairing_audit::{audit_pairing, AuditReport, PairingViolation};

@@ -1,0 +1,479 @@
+//! Exhaustive model checking of small populations.
+//!
+//! Because agents are anonymous, the reachable *multiset* graph of a small
+//! system is tiny, and global fairness has an exact finite-state
+//! characterization: a GF execution eventually visits exactly the
+//! configurations of one **terminal strongly-connected component** of the
+//! reachability graph (a closed, successor-complete set of
+//! infinitely-recurring configurations is strongly connected and terminal,
+//! and conversely). So:
+//!
+//! > the population *stably computes* `y` from `C₀` **iff** every terminal
+//! > SCC reachable from `C₀` consists of configurations with unanimous
+//! > output `y`.
+//!
+//! This turns the paper's GF-liveness claims (e.g. the Pairing problem's
+//! liveness, the progress of `SID`'s handshake chain) into decidable
+//! checks for small `n` — no sampling, no schedules.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ppfts_engine::{
+    outcome, OneWayFault, OneWayModel, OneWayProgram, TwoWayModel, TwoWayProgram,
+};
+use ppfts_population::{Configuration, Multiset, State};
+
+/// Exploration failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// The reachable configuration graph exceeded the given cap.
+    TooManyConfigs {
+        /// The cap that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::TooManyConfigs { limit } => {
+                write!(f, "reachable configuration graph exceeded {limit} configurations")
+            }
+        }
+    }
+}
+
+impl Error for ExploreError {}
+
+/// The reachable configuration graph of an anonymous population.
+///
+/// Configurations are canonicalized as sorted multisets of interned
+/// states, so permutations of agents collapse into one node.
+#[derive(Clone, Debug)]
+pub struct StateGraph<Q: State> {
+    states: Vec<Q>,
+    configs: Vec<Vec<u32>>,
+    edges: Vec<Vec<usize>>,
+}
+
+impl<Q: State> StateGraph<Q> {
+    /// Number of reachable (canonical) configurations.
+    pub fn config_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Number of distinct local states discovered.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The multiset view of configuration `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn config(&self, index: usize) -> Multiset<Q> {
+        self.configs[index]
+            .iter()
+            .map(|&id| self.states[id as usize].clone())
+            .collect()
+    }
+
+    /// The terminal strongly-connected components, as lists of
+    /// configuration indices. GF executions converge into exactly one of
+    /// these.
+    pub fn terminal_sccs(&self) -> Vec<Vec<usize>> {
+        let sccs = self.tarjan();
+        let mut comp_of = vec![usize::MAX; self.configs.len()];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &node in comp {
+                comp_of[node] = ci;
+            }
+        }
+        sccs.into_iter()
+            .enumerate()
+            .filter(|(ci, comp)| {
+                comp.iter().all(|&node| {
+                    self.edges[node].iter().all(|&succ| comp_of[succ] == *ci)
+                })
+            })
+            .map(|(_, comp)| comp)
+            .collect()
+    }
+
+    /// Whether **every** GF execution stabilizes into configurations
+    /// satisfying `pred` — i.e. every terminal SCC consists of `pred`
+    /// configurations only.
+    pub fn always_stabilizes(&self, mut pred: impl FnMut(&Multiset<Q>) -> bool) -> bool {
+        self.terminal_sccs()
+            .iter()
+            .all(|comp| comp.iter().all(|&node| pred(&self.config(node))))
+    }
+
+    /// Whether some reachable configuration satisfies `pred`.
+    pub fn some_reachable(&self, mut pred: impl FnMut(&Multiset<Q>) -> bool) -> bool {
+        (0..self.config_count()).any(|i| pred(&self.config(i)))
+    }
+
+    /// Whether `pred` holds in every reachable configuration (a global
+    /// invariant, e.g. Pairing safety).
+    pub fn invariant(&self, mut pred: impl FnMut(&Multiset<Q>) -> bool) -> bool {
+        (0..self.config_count()).all(|i| pred(&self.config(i)))
+    }
+
+    /// Iterative Tarjan SCC (configurations can number in the tens of
+    /// thousands; recursion would overflow).
+    fn tarjan(&self) -> Vec<Vec<usize>> {
+        let n = self.configs.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        // Explicit DFS stack: (node, next edge position).
+        let mut call: Vec<(usize, usize)> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            call.push((root, 0));
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (node, ref mut edge_pos)) = call.last_mut() {
+                if *edge_pos < self.edges[node].len() {
+                    let succ = self.edges[node][*edge_pos];
+                    *edge_pos += 1;
+                    if index[succ] == usize::MAX {
+                        index[succ] = next_index;
+                        low[succ] = next_index;
+                        next_index += 1;
+                        stack.push(succ);
+                        on_stack[succ] = true;
+                        call.push((succ, 0));
+                    } else if on_stack[succ] {
+                        low[node] = low[node].min(index[succ]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[node]);
+                    }
+                    if low[node] == index[node] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == node {
+                                break;
+                            }
+                        }
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+}
+
+struct Interner<Q: State> {
+    table: HashMap<Q, u32>,
+    states: Vec<Q>,
+}
+
+impl<Q: State> Interner<Q> {
+    fn new() -> Self {
+        Interner {
+            table: HashMap::new(),
+            states: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, q: &Q) -> u32 {
+        if let Some(&id) = self.table.get(q) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.table.insert(q.clone(), id);
+        self.states.push(q.clone());
+        id
+    }
+}
+
+fn canonical(mut ids: Vec<u32>) -> Vec<u32> {
+    ids.sort_unstable();
+    ids
+}
+
+fn explore<Q: State>(
+    c0: &Configuration<Q>,
+    max_configs: usize,
+    mut successors: impl FnMut(&[Q]) -> Vec<Vec<Q>>,
+) -> Result<StateGraph<Q>, ExploreError> {
+    let mut interner = Interner::new();
+    let root: Vec<u32> = canonical(c0.as_slice().iter().map(|q| interner.intern(q)).collect());
+    let mut node_of: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut configs: Vec<Vec<u32>> = vec![root.clone()];
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new()];
+    node_of.insert(root, 0);
+
+    let mut frontier = vec![0usize];
+    while let Some(node) = frontier.pop() {
+        let concrete: Vec<Q> = configs[node]
+            .iter()
+            .map(|&id| interner.states[id as usize].clone())
+            .collect();
+        for succ_states in successors(&concrete) {
+            let ids = canonical(succ_states.iter().map(|q| interner.intern(q)).collect());
+            let succ_node = match node_of.get(&ids) {
+                Some(&existing) => existing,
+                None => {
+                    if configs.len() >= max_configs {
+                        return Err(ExploreError::TooManyConfigs { limit: max_configs });
+                    }
+                    let fresh = configs.len();
+                    node_of.insert(ids.clone(), fresh);
+                    configs.push(ids);
+                    edges.push(Vec::new());
+                    frontier.push(fresh);
+                    fresh
+                }
+            };
+            if !edges[node].contains(&succ_node) {
+                edges[node].push(succ_node);
+            }
+        }
+    }
+
+    Ok(StateGraph {
+        states: interner.states,
+        configs,
+        edges,
+    })
+}
+
+/// Explores the reachable configuration graph of a **two-way** program
+/// under `model`. When the model permits omissions, the graph includes
+/// every omissive outcome (the UO adversary's choices); pass
+/// [`TwoWayModel::Tw`] for fault-free exploration.
+///
+/// # Errors
+///
+/// Fails with [`ExploreError::TooManyConfigs`] if more than `max_configs`
+/// canonical configurations are reachable.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::TwoWayModel;
+/// use ppfts_population::Configuration;
+/// use ppfts_protocols::{Pairing, PairingState};
+/// use ppfts_verify::explore_two_way;
+///
+/// let graph = explore_two_way(
+///     TwoWayModel::Tw,
+///     &Pairing,
+///     &Pairing::initial(2, 1),
+///     10_000,
+/// )?;
+/// // Pairing liveness, *proved* for n = 3: every GF execution stabilizes
+/// // with exactly min(2, 1) = 1 paired consumer.
+/// assert!(graph.always_stabilizes(|c| c.count(&PairingState::Paired) == 1));
+/// // And safety is a global invariant.
+/// assert!(graph.invariant(|c| c.count(&PairingState::Paired) <= 1));
+/// # Ok::<(), ppfts_verify::ExploreError>(())
+/// ```
+pub fn explore_two_way<P>(
+    model: TwoWayModel,
+    program: &P,
+    c0: &Configuration<P::State>,
+    max_configs: usize,
+) -> Result<StateGraph<P::State>, ExploreError>
+where
+    P: TwoWayProgram,
+{
+    let faults = model.permitted_faults();
+    explore(c0, max_configs, |states| {
+        let n = states.len();
+        let mut out = Vec::new();
+        for s in 0..n {
+            for r in 0..n {
+                if s == r {
+                    continue;
+                }
+                for &fault in faults {
+                    let (s2, r2) = outcome::two_way(model, program, &states[s], &states[r], fault)
+                        .expect("fault is permitted by the model");
+                    let mut succ = states.to_vec();
+                    succ[s] = s2;
+                    succ[r] = r2;
+                    out.push(succ);
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Explores the reachable configuration graph of a **one-way** program
+/// under `model`; omissive outcomes are included for omissive models.
+///
+/// # Errors
+///
+/// Fails with [`ExploreError::TooManyConfigs`] if more than `max_configs`
+/// canonical configurations are reachable.
+pub fn explore_one_way<P>(
+    model: OneWayModel,
+    program: &P,
+    c0: &Configuration<P::State>,
+    max_configs: usize,
+) -> Result<StateGraph<P::State>, ExploreError>
+where
+    P: OneWayProgram,
+{
+    let faults: &[OneWayFault] = if model.allows_omissions() {
+        &[OneWayFault::None, OneWayFault::Omission]
+    } else {
+        &[OneWayFault::None]
+    };
+    explore(c0, max_configs, |states| {
+        let n = states.len();
+        let mut out = Vec::new();
+        for s in 0..n {
+            for r in 0..n {
+                if s == r {
+                    continue;
+                }
+                for &fault in faults {
+                    let (s2, r2) = outcome::one_way(model, program, &states[s], &states[r], fault)
+                        .expect("fault is permitted by the model");
+                    let mut succ = states.to_vec();
+                    succ[s] = s2;
+                    succ[r] = r2;
+                    out.push(succ);
+                }
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfts_core::{project, Sid, SimulatorState};
+    use ppfts_protocols::{Epidemic, LeaderElection, LeaderState, Pairing, PairingState};
+
+    #[test]
+    fn epidemic_always_stabilizes_to_or() {
+        let c0 = Configuration::new(vec![true, false, false, false]);
+        let graph = explore_two_way(TwoWayModel::Tw, &Epidemic, &c0, 1000).unwrap();
+        assert!(graph.always_stabilizes(|c| c.count(&true) == 4));
+
+        let all_false = Configuration::new(vec![false, false, false]);
+        let graph = explore_two_way(TwoWayModel::Tw, &Epidemic, &all_false, 1000).unwrap();
+        assert!(graph.always_stabilizes(|c| c.count(&false) == 3));
+    }
+
+    #[test]
+    fn pairing_liveness_and_safety_proved_for_small_n() {
+        for (c, p) in [(2usize, 2usize), (3, 1), (1, 3), (2, 3)] {
+            let expected = c.min(p);
+            let graph = explore_two_way(
+                TwoWayModel::Tw,
+                &Pairing,
+                &Pairing::initial(c, p),
+                100_000,
+            )
+            .unwrap();
+            assert!(
+                graph.always_stabilizes(|m| m.count(&PairingState::Paired) == expected),
+                "{c} consumers / {p} producers"
+            );
+            assert!(graph.invariant(|m| m.count(&PairingState::Paired) <= p));
+        }
+    }
+
+    #[test]
+    fn leader_election_terminal_components_have_one_leader() {
+        let graph = explore_two_way(
+            TwoWayModel::Tw,
+            &LeaderElection,
+            &LeaderElection::initial(4),
+            1000,
+        )
+        .unwrap();
+        assert!(graph.always_stabilizes(|m| m.count(&LeaderState::Leader) == 1));
+        // 4 reachable multisets: 4, 3, 2, 1 leaders.
+        assert_eq!(graph.config_count(), 4);
+        assert_eq!(graph.terminal_sccs().len(), 1);
+    }
+
+    #[test]
+    fn epidemic_under_t1_with_uo_adversary_still_stabilizes() {
+        // Omissions cannot un-infect anyone: even with the UO adversary in
+        // the graph, all terminal SCCs are fully infected.
+        let c0 = Configuration::new(vec![true, false, false]);
+        let graph = explore_two_way(TwoWayModel::T1, &Epidemic, &c0, 1000).unwrap();
+        assert!(graph.always_stabilizes(|c| c.count(&true) == 3));
+    }
+
+    #[test]
+    fn sid_simulation_of_pairing_proved_for_two_agents() {
+        // Exact GF verification of SID on a 2-agent system: every terminal
+        // SCC has the simulated pair transitioned.
+        let sid = Sid::new(Pairing);
+        let c0 = Sid::<Pairing>::initial(&[PairingState::Consumer, PairingState::Producer]);
+        let graph = explore_one_way(OneWayModel::Io, &sid, &c0, 100_000).unwrap();
+        assert!(graph.always_stabilizes(|m| {
+            let mut paired = 0;
+            let mut spent = 0;
+            for (state, count) in m.iter() {
+                match state.simulated() {
+                    PairingState::Paired => paired += count,
+                    PairingState::Spent => spent += count,
+                    _ => {}
+                }
+            }
+            paired == 1 && spent == 1
+        }));
+    }
+
+    #[test]
+    fn config_cap_is_enforced() {
+        let err = explore_two_way(
+            TwoWayModel::Tw,
+            &Pairing,
+            &Pairing::initial(3, 3),
+            2, // absurdly small
+        )
+        .unwrap_err();
+        assert_eq!(err, ExploreError::TooManyConfigs { limit: 2 });
+    }
+
+    #[test]
+    fn graph_statistics_are_consistent() {
+        let graph = explore_two_way(
+            TwoWayModel::Tw,
+            &Epidemic,
+            &Configuration::new(vec![true, false]),
+            100,
+        )
+        .unwrap();
+        // {T,F} → {T,T}: two canonical configs.
+        assert_eq!(graph.config_count(), 2);
+        assert_eq!(graph.state_count(), 2);
+        assert!(graph.some_reachable(|m| m.count(&true) == 2));
+        let _ = project(&Sid::<Pairing>::initial(&[PairingState::Consumer])); // silence unused import lint paths
+    }
+}

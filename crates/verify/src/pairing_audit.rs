@@ -1,0 +1,245 @@
+//! Step-wise auditing of the Pairing problem (paper Definition 5).
+//!
+//! The Pairing problem is the paper's universal counterexample: every
+//! impossibility proof breaks a simulator by driving it into a *safety*
+//! violation (more irrevocably-paired consumers than producers), and every
+//! possibility proof must preserve all three properties. This module
+//! audits an arbitrary execution of a *simulated* Pairing protocol against
+//! all three:
+//!
+//! * **Irrevocability** — only consumers reach `cs`, and an agent in `cs`
+//!   never leaves it;
+//! * **Safety** — at every step, `#cs ≤ #producers(0)`;
+//! * **Liveness** — by the end of the audited window, `#cs` equals
+//!   `min(#consumers(0), #producers(0))` and the count is stable.
+
+use ppfts_core::{project, SimulatorState};
+use ppfts_engine::{OmissionStrategy, OneWayRunner, RunOutcome, Scheduler};
+use ppfts_population::{AgentId, Configuration, State};
+use ppfts_protocols::PairingState;
+
+use ppfts_engine::OneWayProgram;
+
+/// A violation of the Pairing problem discovered by the audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PairingViolation {
+    /// An agent left the irrevocable `cs` state.
+    Revoked {
+        /// The offending agent.
+        agent: AgentId,
+        /// Engine step at which it happened.
+        step: u64,
+    },
+    /// A non-consumer reached `cs`.
+    ForgedPairing {
+        /// The offending agent.
+        agent: AgentId,
+        /// Engine step at which it happened.
+        step: u64,
+    },
+    /// The number of `cs` agents exceeded the number of producers.
+    SafetyExceeded {
+        /// The observed `cs` count.
+        paired: usize,
+        /// The initial producer count (the bound).
+        producers: usize,
+        /// Engine step at which it happened.
+        step: u64,
+    },
+}
+
+/// Outcome of [`audit_pairing`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Initial number of consumers.
+    pub consumers: usize,
+    /// Initial number of producers.
+    pub producers: usize,
+    /// All violations found, in order of occurrence.
+    pub violations: Vec<PairingViolation>,
+    /// Final `cs` count.
+    pub paired_final: usize,
+    /// Whether liveness held: the final `cs` count equals
+    /// `min(consumers, producers)`.
+    pub live: bool,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+impl AuditReport {
+    /// Whether irrevocability and safety held throughout.
+    pub fn safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Whether the execution solved the Pairing problem in the audited
+    /// window.
+    pub fn solved(&self) -> bool {
+        self.safe() && self.live
+    }
+}
+
+/// Runs `runner` for up to `max_steps`, auditing the projected Pairing
+/// protocol at every step; stops early once liveness is reached and the
+/// system has been stable for `min(1000, max_steps/10)` further steps.
+///
+/// The runner's simulator states must project onto [`PairingState`].
+///
+/// # Example
+///
+/// See `tests/simulation_correctness.rs` in the repository root, which
+/// audits `SKnO` and `SID` end-to-end.
+pub fn audit_pairing<P, S, A>(
+    runner: &mut OneWayRunner<P, S, A>,
+    max_steps: u64,
+) -> AuditReport
+where
+    P: OneWayProgram,
+    P::State: SimulatorState<Simulated = PairingState> + State,
+    S: Scheduler,
+    A: OmissionStrategy,
+{
+    let initial = project(runner.config());
+    let consumers = initial.count_state(&PairingState::Consumer);
+    let producers = initial.count_state(&PairingState::Producer);
+    let expected = consumers.min(producers);
+
+    let mut violations = Vec::new();
+    let mut was_paired = vec![false; initial.len()];
+    let mut initially_consumer = vec![false; initial.len()];
+    for (agent, q) in initial.iter() {
+        initially_consumer[agent.index()] = *q == PairingState::Consumer;
+        was_paired[agent.index()] = *q == PairingState::Paired;
+    }
+
+    let check = |config: &Configuration<P::State>,
+                 step: u64,
+                 was_paired: &mut Vec<bool>,
+                 violations: &mut Vec<PairingViolation>| {
+        let proj = project(config);
+        let paired = proj.count_state(&PairingState::Paired);
+        if paired > producers {
+            violations.push(PairingViolation::SafetyExceeded {
+                paired,
+                producers,
+                step,
+            });
+        }
+        for (agent, q) in proj.iter() {
+            let is_paired = *q == PairingState::Paired;
+            if was_paired[agent.index()] && !is_paired {
+                violations.push(PairingViolation::Revoked { agent, step });
+            }
+            if is_paired && !was_paired[agent.index()] && !initially_consumer[agent.index()]
+            {
+                violations.push(PairingViolation::ForgedPairing { agent, step });
+            }
+            was_paired[agent.index()] = is_paired;
+        }
+    };
+
+    let stability_window = (max_steps / 10).clamp(1, 1000);
+    let mut stable_for = 0u64;
+    let mut steps = 0u64;
+    while steps < max_steps {
+        if runner.step().is_err() {
+            break;
+        }
+        steps += 1;
+        check(runner.config(), steps, &mut was_paired, &mut violations);
+        let paired_now = project(runner.config()).count_state(&PairingState::Paired);
+        if paired_now == expected {
+            stable_for += 1;
+            if stable_for >= stability_window {
+                break;
+            }
+        } else {
+            stable_for = 0;
+        }
+    }
+
+    let paired_final = project(runner.config()).count_state(&PairingState::Paired);
+    AuditReport {
+        consumers,
+        producers,
+        violations,
+        paired_final,
+        live: paired_final == expected,
+        steps,
+    }
+}
+
+/// Convenience: run to completion with a plain predicate, no audit, and
+/// report whether Pairing stabilized. Used by benches where the per-step
+/// audit would dominate the measurement.
+pub fn pairing_converged<P, S, A>(
+    runner: &mut OneWayRunner<P, S, A>,
+    max_steps: u64,
+) -> RunOutcome
+where
+    P: OneWayProgram,
+    P::State: SimulatorState<Simulated = PairingState> + State,
+    S: Scheduler,
+    A: OmissionStrategy,
+{
+    let initial = project(runner.config());
+    let expected = initial
+        .count_state(&PairingState::Consumer)
+        .min(initial.count_state(&PairingState::Producer));
+    runner.run_until(max_steps, |c| {
+        project(c).count_state(&PairingState::Paired) == expected
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfts_core::{Sid, Skno};
+    use ppfts_engine::{BoundedStrategy, OneWayModel};
+    use ppfts_protocols::Pairing;
+
+    fn sims(c: usize, p: usize) -> Vec<PairingState> {
+        Pairing::initial(c, p).as_slice().to_vec()
+    }
+
+    #[test]
+    fn sid_passes_the_full_audit() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Sid::new(Pairing))
+            .config(Sid::<Pairing>::initial(&sims(3, 2)))
+            .seed(4)
+            .build()
+            .unwrap();
+        let report = audit_pairing(&mut runner, 400_000);
+        assert!(report.safe(), "violations: {:?}", report.violations);
+        assert!(report.live, "paired {} of 2", report.paired_final);
+        assert!(report.solved());
+    }
+
+    #[test]
+    fn skno_passes_within_its_omission_budget() {
+        let o = 1;
+        let mut runner = OneWayRunner::builder(OneWayModel::I3, Skno::new(Pairing, o))
+            .config(Skno::<Pairing>::initial(&sims(2, 3)))
+            .adversary(BoundedStrategy::new(0.02, o as u64))
+            .seed(8)
+            .build()
+            .unwrap();
+        let report = audit_pairing(&mut runner, 400_000);
+        assert!(report.safe(), "violations: {:?}", report.violations);
+        assert!(report.live);
+        assert_eq!(report.paired_final, 2);
+    }
+
+    #[test]
+    fn report_counts_initial_groups() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Sid::new(Pairing))
+            .config(Sid::<Pairing>::initial(&sims(4, 1)))
+            .seed(2)
+            .build()
+            .unwrap();
+        let report = audit_pairing(&mut runner, 200_000);
+        assert_eq!(report.consumers, 4);
+        assert_eq!(report.producers, 1);
+        assert_eq!(report.paired_final, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Exact (exhaustive) verification of stabilization claims on small
+//! populations, via the terminal-SCC characterization of global fairness.
+//!
+//! Unlike the statistical tests, nothing here depends on seeds: the model
+//! checker enumerates every reachable configuration and every GF
+//! execution's eventual behaviour.
+
+use ppfts::core::{Sid, SimulatorState};
+use ppfts::engine::{OneWayModel, TwoWayModel};
+use ppfts::population::Semantics;
+use ppfts::protocols::semilinear::{Atom, PredicateExpr, SemilinearProtocol};
+use ppfts::protocols::{
+    ApproximateMajority, Epidemic, FlockOfBirds, LeaderElection, LeaderState, MajorityState,
+    Pairing, PairingState, Remainder,
+};
+use ppfts::verify::{explore_one_way, explore_two_way};
+
+#[test]
+fn epidemic_stably_computes_or_proved() {
+    for n_true in 0..3usize {
+        for n_false in 0..3usize {
+            let n = n_true + n_false;
+            if n < 2 {
+                continue;
+            }
+            let inputs: Vec<bool> = std::iter::repeat_n(true, n_true)
+                .chain(std::iter::repeat_n(false, n_false))
+                .collect();
+            let expected = Epidemic.expected(&inputs);
+            let graph = explore_two_way(
+                TwoWayModel::Tw,
+                &Epidemic,
+                &Epidemic.initial_configuration(&inputs),
+                10_000,
+            )
+            .unwrap();
+            assert!(
+                graph.always_stabilizes(|m| {
+                    m.iter().all(|(q, _)| Epidemic.output(q) == expected)
+                }),
+                "inputs {inputs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pairing_solves_pair_proved() {
+    for (c, p) in [(1usize, 1usize), (2, 1), (1, 2), (2, 2), (3, 2)] {
+        let expected = c.min(p);
+        let graph =
+            explore_two_way(TwoWayModel::Tw, &Pairing, &Pairing::initial(c, p), 100_000)
+                .unwrap();
+        // Liveness: every GF execution ends with exactly min(c, p) paired.
+        assert!(graph.always_stabilizes(|m| m.count(&PairingState::Paired) == expected));
+        // Safety + irrevocability corollary: never more paired than
+        // producers anywhere in the reachable graph.
+        assert!(graph.invariant(|m| m.count(&PairingState::Paired) <= p));
+    }
+}
+
+#[test]
+fn leader_election_proved() {
+    for n in [2usize, 3, 4, 5] {
+        let graph = explore_two_way(
+            TwoWayModel::Tw,
+            &LeaderElection,
+            &LeaderElection::initial(n),
+            10_000,
+        )
+        .unwrap();
+        assert!(graph.always_stabilizes(|m| m.count(&LeaderState::Leader) == 1));
+    }
+}
+
+#[test]
+fn approximate_majority_with_unanimous_input_proved() {
+    // With a unanimous starting opinion the 3-state protocol is exact:
+    // every GF execution converts all blanks.
+    let inputs = vec![MajorityState::X, MajorityState::X, MajorityState::Blank];
+    let graph = explore_two_way(
+        TwoWayModel::Tw,
+        &ApproximateMajority,
+        &ppfts::population::Configuration::new(inputs),
+        10_000,
+    )
+    .unwrap();
+    assert!(graph.always_stabilizes(|m| m.count(&MajorityState::X) == 3));
+}
+
+#[test]
+fn flock_threshold_proved_both_sides() {
+    let flock = FlockOfBirds::new(2);
+    // 2 marked: must detect.
+    let hot = flock.initial_configuration(&[true, true, false]);
+    let graph = explore_two_way(TwoWayModel::Tw, &flock, &hot, 100_000).unwrap();
+    assert!(graph.always_stabilizes(|m| m.iter().all(|(q, _)| q.detected)));
+    // 1 marked: must never detect — an invariant, not just eventual.
+    let cold = flock.initial_configuration(&[true, false, false]);
+    let graph = explore_two_way(TwoWayModel::Tw, &flock, &cold, 100_000).unwrap();
+    assert!(graph.invariant(|m| m.iter().all(|(q, _)| !q.detected)));
+}
+
+#[test]
+fn remainder_proved() {
+    let p = Remainder::new(2, 1);
+    let inputs = vec![1u32, 1, 1]; // sum 3, odd
+    let graph = explore_two_way(
+        TwoWayModel::Tw,
+        &p,
+        &p.initial_configuration(&inputs),
+        100_000,
+    )
+    .unwrap();
+    assert!(graph.always_stabilizes(|m| m.iter().all(|(q, _)| p.output(q))));
+}
+
+#[test]
+fn semilinear_compilation_proved() {
+    // "at least 2 of symbol 1" over two symbols, n = 3.
+    let p = SemilinearProtocol::new(
+        vec![Atom::Threshold {
+            coeffs: vec![0, 1],
+            threshold: 2,
+        }],
+        PredicateExpr::atom(0),
+    )
+    .unwrap();
+    for inputs in [vec![1usize, 1, 0], vec![1, 0, 0]] {
+        let expected = p.expected(&inputs);
+        let graph = explore_two_way(
+            TwoWayModel::Tw,
+            &p,
+            &p.initial_configuration(&inputs),
+            100_000,
+        )
+        .unwrap();
+        assert!(
+            graph.always_stabilizes(|m| m.iter().all(|(q, _)| p.output(q) == expected)),
+            "inputs {inputs:?}"
+        );
+    }
+}
+
+#[test]
+fn sid_simulation_proved_for_three_agents() {
+    // Exact GF verification of the full SID machinery on 3 agents
+    // simulating Pairing(2 consumers, 1 producer): every GF execution
+    // ends with exactly one simulated pairing.
+    let sims = [
+        PairingState::Consumer,
+        PairingState::Consumer,
+        PairingState::Producer,
+    ];
+    let sid = Sid::new(Pairing);
+    let c0 = Sid::<Pairing>::initial(&sims);
+    let graph = explore_one_way(OneWayModel::Io, &sid, &c0, 3_000_000).unwrap();
+    assert!(graph.always_stabilizes(|m| {
+        let paired: usize = m
+            .iter()
+            .filter(|(q, _)| *q.simulated() == PairingState::Paired)
+            .map(|(_, c)| c)
+            .sum();
+        paired == 1
+    }));
+    // Simulated safety is a reachability invariant, not only eventual.
+    assert!(graph.invariant(|m| {
+        let paired: usize = m
+            .iter()
+            .filter(|(q, _)| *q.simulated() == PairingState::Paired)
+            .map(|(_, c)| c)
+            .sum();
+        paired <= 1
+    }));
+}
