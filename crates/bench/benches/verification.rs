@@ -32,10 +32,9 @@ fn bench_verification(c: &mut Criterion) {
             b.iter(|| {
                 let events = extract_events(&trace);
                 let matching = build_matching(&Pairing, &events).unwrap();
-                let derived = ppfts_core::verify_derived_execution(
-                    &Pairing, &initial, &events, &matching,
-                )
-                .unwrap();
+                let derived =
+                    ppfts_core::verify_derived_execution(&Pairing, &initial, &events, &matching)
+                        .unwrap();
                 (events.len(), matching.len(), derived.len())
             })
         });
@@ -57,10 +56,9 @@ fn bench_verification(c: &mut Criterion) {
             b.iter(|| {
                 let events = extract_events(&trace);
                 let matching = build_matching(&Pairing, &events).unwrap();
-                let derived = ppfts_core::verify_derived_execution(
-                    &Pairing, &initial, &events, &matching,
-                )
-                .unwrap();
+                let derived =
+                    ppfts_core::verify_derived_execution(&Pairing, &initial, &events, &matching)
+                        .unwrap();
                 (events.len(), matching.len(), derived.len())
             })
         });

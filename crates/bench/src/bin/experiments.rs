@@ -22,19 +22,33 @@ fn main() {
     let seeds = 10u64;
 
     header("E1", "Figure 1: hierarchy arrows and closure");
-    println!("{} direct arrows; closure checks:", direct_inclusions().len());
+    println!(
+        "{} direct arrows; closure checks:",
+        direct_inclusions().len()
+    );
     let io = Model::OneWay(OneWayModel::Io);
     let tw = Model::TwoWay(ppfts_engine::TwoWayModel::Tw);
     println!("  includes(IO, TW) = {}", includes(io, tw));
     println!("  includes(TW, IO) = {}", includes(tw, io));
     println!("  (full matrix: cargo run --example model_hierarchy)");
 
-    header("E2", "Lemma 1 / Theorem 3.1: FTT and the omission attack on SKnO (I3)");
-    println!("{:>3} | {:>4} | {:>9} | {:>9} | {:>9} | verdict", "o", "FTT", "producers", "paired", "omissions");
+    header(
+        "E2",
+        "Lemma 1 / Theorem 3.1: FTT and the omission attack on SKnO (I3)",
+    );
+    println!(
+        "{:>3} | {:>4} | {:>9} | {:>9} | {:>9} | verdict",
+        "o", "FTT", "producers", "paired", "omissions"
+    );
     for o in 1..=3u32 {
-        let report =
-            lemma1_attack(OneWayModel::I3, Skno::new(Pairing, o), SknoState::new, 128, 512)
-                .expect("attack builds");
+        let report = lemma1_attack(
+            OneWayModel::I3,
+            Skno::new(Pairing, o),
+            SknoState::new,
+            128,
+            512,
+        )
+        .expect("attack builds");
         let paired = match report.outcome {
             AttackOutcome::SafetyViolated { paired, .. } => paired,
             _ => panic!("expected violation"),
@@ -50,7 +64,10 @@ fn main() {
         );
     }
 
-    header("E3", "Theorem 3.2: the weak models I1/I2 fall without omissions");
+    header(
+        "E3",
+        "Theorem 3.2: the weak models I1/I2 fall without omissions",
+    );
     for m in [OneWayModel::I1, OneWayModel::I2] {
         let report = thm32_attack(m, Optimist::new(Pairing), OptimistState::new, 64, 256)
             .expect("attack builds");
@@ -75,8 +92,14 @@ fn main() {
     );
     println!("Theorem 3.3 corroborated: {}", deg.corroborates_thm33());
 
-    header("E5", "Theorem 4.1: SKnO convergence on Pairing (I3, adversary at full budget)");
-    println!("    o | {:>5} | {:>11} | {:>12} | {:>10}", "n", "converged", "mean steps", "per-sim");
+    header(
+        "E5",
+        "Theorem 4.1: SKnO convergence on Pairing (I3, adversary at full budget)",
+    );
+    println!(
+        "    o | {:>5} | {:>11} | {:>12} | {:>10}",
+        "n", "converged", "mean steps", "per-sim"
+    );
     for o in [0u32, 1, 2] {
         for n in [4usize, 8, 16] {
             let c = measure_skno(n, o, seeds, 30_000_000);
@@ -84,8 +107,14 @@ fn main() {
         }
     }
 
-    header("E6", "Corollary 1 / Theorem 4.1: SKnO memory audit (peak tokens per agent)");
-    println!("{:>3} | {:>5} | {:>12} | bound Θ((o+1)·|Q|·log n): tokens ∝ (o+1)", "o", "n", "peak tokens");
+    header(
+        "E6",
+        "Corollary 1 / Theorem 4.1: SKnO memory audit (peak tokens per agent)",
+    );
+    println!(
+        "{:>3} | {:>5} | {:>12} | bound Θ((o+1)·|Q|·log n): tokens ∝ (o+1)",
+        "o", "n", "peak tokens"
+    );
     for o in [0u32, 1, 2, 3] {
         for n in [4usize, 8] {
             let peak = skno_peak_tokens(n, o, 50_000, 11);
@@ -93,8 +122,14 @@ fn main() {
         }
     }
 
-    header("E7", "Theorem 4.5: SID convergence on Pairing (IO, unique IDs)");
-    println!("{:>5} | {:>11} | {:>12} | {:>10}", "n", "converged", "mean steps", "per-sim");
+    header(
+        "E7",
+        "Theorem 4.5: SID convergence on Pairing (IO, unique IDs)",
+    );
+    println!(
+        "{:>5} | {:>11} | {:>12} | {:>10}",
+        "n", "converged", "mean steps", "per-sim"
+    );
     for n in [4usize, 8, 16, 32, 64] {
         let c = measure_sid(n, seeds, 30_000_000);
         println!("{}", c.row());
@@ -108,11 +143,20 @@ fn main() {
         16,
     )
     .expect("SID transitions");
-    println!("measured FTT(SID) = {} (paper's handshake: pair, lock, complete)", ftt.steps);
+    println!(
+        "measured FTT(SID) = {} (paper's handshake: pair, lock, complete)",
+        ftt.steps
+    );
 
-    header("E8", "Theorem 4.6 / Lemma 3: naming with knowledge of n, then simulation");
+    header(
+        "E8",
+        "Theorem 4.6 / Lemma 3: naming with knowledge of n, then simulation",
+    );
     println!("naming phase only:");
-    println!("{:>5} | {:>11} | {:>12} | {:>10}", "n", "converged", "mean steps", "(n/a)");
+    println!(
+        "{:>5} | {:>11} | {:>12} | {:>10}",
+        "n", "converged", "mean steps", "(n/a)"
+    );
     for n in [4usize, 8, 16, 32] {
         let c = measure_naming_phase(n, seeds, 30_000_000);
         println!("{}", c.row());
@@ -123,10 +167,16 @@ fn main() {
         println!("{}", c.row());
     }
 
-    header("E9", "Figure 4: run `cargo run --release -p ppfts-bench --bin figure4`");
+    header(
+        "E9",
+        "Figure 4: run `cargo run --release -p ppfts-bench --bin figure4`",
+    );
     println!("(separate binary; every cell is execution-backed)");
 
-    header("E10", "Flock-of-birds motivation: run `cargo run --example flock_of_birds`");
+    header(
+        "E10",
+        "Flock-of-birds motivation: run `cargo run --example flock_of_birds`",
+    );
     println!("(threshold detection under omissive I3 with SKnO)");
 
     println!("\nAll experiment tables printed. EXPERIMENTS.md records the expected shapes.");

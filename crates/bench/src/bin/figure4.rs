@@ -43,7 +43,11 @@ fn witness_possible_sid(m: OneWayModel) -> Cell {
         .build()
         .unwrap();
     let report = audit_pairing(&mut runner, 1_500_000);
-    assert!(report.solved(), "{m}: SID audit failed: {:?}", report.violations);
+    assert!(
+        report.solved(),
+        "{m}: SID audit failed: {:?}",
+        report.violations
+    );
     Cell::Green
 }
 
@@ -55,7 +59,11 @@ fn witness_possible_skno(m: OneWayModel, o: u32) -> Cell {
         .build()
         .unwrap();
     let report = audit_pairing(&mut runner, 1_500_000);
-    assert!(report.solved(), "{m}: SKnO audit failed: {:?}", report.violations);
+    assert!(
+        report.solved(),
+        "{m}: SKnO audit failed: {:?}",
+        report.violations
+    );
     Cell::Green
 }
 
@@ -67,7 +75,11 @@ fn witness_possible_named(m: OneWayModel) -> Cell {
         .build()
         .unwrap();
     let report = audit_pairing(&mut runner, 4_000_000);
-    assert!(report.solved(), "{m}: NamedSid audit failed: {:?}", report.violations);
+    assert!(
+        report.solved(),
+        "{m}: NamedSid audit failed: {:?}",
+        report.violations
+    );
     Cell::Green
 }
 
@@ -82,7 +94,10 @@ fn witness_impossible_thm32(m: OneWayModel) -> Cell {
     let unsafe_opt = thm32_attack(m, Optimist::new(Pairing), OptimistState::new, 64, 256)
         .unwrap()
         .violated_safety();
-    assert!(stalls && unsafe_opt, "{m}: Theorem 3.2 dichotomy did not land");
+    assert!(
+        stalls && unsafe_opt,
+        "{m}: Theorem 3.2 dichotomy did not land"
+    );
     Cell::Red
 }
 

@@ -186,7 +186,10 @@ mod tests {
         let c = measure_sid(4, 3, 500_000);
         assert_eq!(c.converged, 3);
         assert!(c.mean_steps > 0.0);
-        assert!(c.steps_per_simulated >= 3.0, "at least FTT per simulated step");
+        assert!(
+            c.steps_per_simulated >= 3.0,
+            "at least FTT per simulated step"
+        );
     }
 
     #[test]

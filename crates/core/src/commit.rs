@@ -121,8 +121,16 @@ mod tests {
     #[test]
     fn project_maps_every_agent() {
         let config = Configuration::new(vec![
-            Dummy { sim: 3, commits: 0, last: None },
-            Dummy { sim: 7, commits: 0, last: None },
+            Dummy {
+                sim: 3,
+                commits: 0,
+                last: None,
+            },
+            Dummy {
+                sim: 7,
+                commits: 0,
+                last: None,
+            },
         ]);
         assert_eq!(project(&config).as_slice(), &[3, 7]);
     }

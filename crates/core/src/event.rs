@@ -145,7 +145,11 @@ mod tests {
             .build()
             .unwrap();
         runner
-            .apply_planned([Planned::ok(i(0, 1)), Planned::ok(i(1, 0)), Planned::ok(i(0, 1))])
+            .apply_planned([
+                Planned::ok(i(0, 1)),
+                Planned::ok(i(1, 0)),
+                Planned::ok(i(0, 1)),
+            ])
             .unwrap();
         let events = extract_events(&runner.take_trace().unwrap());
         assert_eq!(events.len(), 2);
@@ -169,7 +173,9 @@ mod tests {
             .record_trace(true)
             .build()
             .unwrap();
-        runner.apply_planned([Planned::ok(i(0, 1)), Planned::ok(i(1, 0))]).unwrap();
+        runner
+            .apply_planned([Planned::ok(i(0, 1)), Planned::ok(i(1, 0))])
+            .unwrap();
         let events = extract_events(&runner.take_trace().unwrap());
         assert_eq!(events.len(), 2);
         assert!(events.iter().all(|e| e.partner_id.is_none()));

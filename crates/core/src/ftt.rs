@@ -85,9 +85,8 @@ where
     let start1 = q1.simulated().clone();
     let (target0, target1) = protocol.delta(&start0, &start1);
 
-    let reached = |a: &Sim::State, b: &Sim::State| {
-        *a.simulated() == target0 && *b.simulated() == target1
-    };
+    let reached =
+        |a: &Sim::State, b: &Sim::State| *a.simulated() == target0 && *b.simulated() == target1;
 
     if reached(&q0, &q1) {
         return Some(FttWitness {
@@ -118,8 +117,7 @@ where
             } else {
                 (&node.1, &node.0)
             };
-            let Ok((s2, r2)) = outcome::one_way(model, simulator, s, r, OneWayFault::None)
-            else {
+            let Ok((s2, r2)) = outcome::one_way(model, simulator, s, r, OneWayFault::None) else {
                 continue;
             };
             let next = if interaction == forward {
@@ -177,8 +175,7 @@ where
         let (s_idx, r_idx) = (interaction.starter().index(), interaction.reactor().index());
         assert!(s_idx < 2 && r_idx < 2, "two-agent schedules only");
         let (s, r) = if s_idx == 0 { (&q0, &q1) } else { (&q1, &q0) };
-        let (s2, r2) =
-            outcome::one_way(model, simulator, s, r, OneWayFault::None).ok()?;
+        let (s2, r2) = outcome::one_way(model, simulator, s, r, OneWayFault::None).ok()?;
         if s_idx == 0 {
             q0 = s2;
             q1 = r2;

@@ -128,10 +128,7 @@ impl Error for MatchingError {}
 /// Returns [`MatchingError::DeltaMismatch`] if a candidate pair fails the
 /// `δ_P` consistency required by Definition 3 (this indicates a simulator
 /// bug, not an unlucky schedule).
-pub fn build_matching<P>(
-    p: &P,
-    events: &[SimEvent<P::State>],
-) -> Result<Matching, MatchingError>
+pub fn build_matching<P>(p: &P, events: &[SimEvent<P::State>]) -> Result<Matching, MatchingError>
 where
     P: TwoWayProtocol,
 {
@@ -474,7 +471,7 @@ fn admissible_schedule<Q: State>(
 mod tests {
     use super::*;
     use crate::{extract_events, project, Sid, Skno};
-    use ppfts_engine::{OneWayModel, OneWayRunner, BoundedStrategy};
+    use ppfts_engine::{BoundedStrategy, OneWayModel, OneWayRunner};
     use ppfts_population::TableProtocol;
 
     fn pairing() -> TableProtocol<char> {
@@ -502,8 +499,7 @@ mod tests {
         let matching = build_matching(&pairing(), &events).unwrap();
         // At most one half-open handshake per agent pair can be in flight.
         assert!(matching.unmatched.len() <= sims.len());
-        let derived =
-            verify_derived_execution(&pairing(), &initial, &events, &matching).unwrap();
+        let derived = verify_derived_execution(&pairing(), &initial, &events, &matching).unwrap();
         assert_eq!(derived.len(), matching.len());
     }
 
@@ -526,8 +522,7 @@ mod tests {
         assert!(!events.is_empty(), "SKnO must make progress");
         let matching = build_matching(&pairing(), &events).unwrap();
         assert!(!matching.is_empty());
-        let derived =
-            verify_derived_execution(&pairing(), &initial, &events, &matching).unwrap();
+        let derived = verify_derived_execution(&pairing(), &initial, &events, &matching).unwrap();
         assert_eq!(derived.len(), matching.len());
         // The derived execution respects Pairing safety: replaying it can
         // never mint more 's' agents than producers — implied by replay
@@ -585,8 +580,7 @@ mod tests {
         }];
         let initial = Configuration::new(vec!['c', 'p']);
         let matching = Matching::default();
-        let err =
-            verify_derived_execution(&pairing(), &initial, &events, &matching).unwrap_err();
+        let err = verify_derived_execution(&pairing(), &initial, &events, &matching).unwrap_err();
         assert!(matches!(err, MatchingError::InitialMismatch { .. }));
     }
 
@@ -597,8 +591,7 @@ mod tests {
         assert!(matching.is_perfect());
         assert!(matching.is_empty());
         let initial = ppfts_population::Configuration::new(vec!['c', 'p']);
-        let derived =
-            verify_derived_execution(&pairing(), &initial, &events, &matching).unwrap();
+        let derived = verify_derived_execution(&pairing(), &initial, &events, &matching).unwrap();
         assert!(derived.is_empty());
     }
 }

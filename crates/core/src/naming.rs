@@ -185,14 +185,15 @@ impl<P: TwoWayProtocol> OneWayProgram for NamedSid<P> {
         let (s_my, s_max) = s.observed_ids(n);
         // D4 ablation: a gossip-silent simulating starter is invisible to
         // naming reactors.
-        if self.gossip == GossipPolicy::Disabled
-            && s.is_simulating()
-            && !r.is_simulating()
-        {
+        if self.gossip == GossipPolicy::Disabled && s.is_simulating() && !r.is_simulating() {
             return r.clone();
         }
         match r {
-            NamedState::Naming { my_id, max_id, init } => {
+            NamedState::Naming {
+                my_id,
+                max_id,
+                init,
+            } => {
                 // Collision rule: bump my_id when the starter shares it.
                 let mut my = *my_id;
                 if s_my == my {
@@ -273,10 +274,7 @@ mod tests {
             .build()
     }
 
-    fn naming_runner(
-        n: usize,
-        seed: u64,
-    ) -> OneWayRunner<NamedSid<TableProtocol<char>>> {
+    fn naming_runner(n: usize, seed: u64) -> OneWayRunner<NamedSid<TableProtocol<char>>> {
         let sims: Vec<char> = (0..n).map(|k| if k % 2 == 0 { 'c' } else { 'p' }).collect();
         OneWayRunner::builder(OneWayModel::Io, NamedSid::new(pairing(), n))
             .config(NamedSid::<TableProtocol<char>>::initial(&sims))
@@ -295,8 +293,12 @@ mod tests {
             let mut runner = naming_runner(n, n as u64);
             let out = runner.run_until(2_000_000, all_named);
             assert!(out.is_satisfied(), "n = {n}");
-            let ids: HashSet<u32> =
-                runner.config().as_slice().iter().map(|q| q.my_id()).collect();
+            let ids: HashSet<u32> = runner
+                .config()
+                .as_slice()
+                .iter()
+                .map(|q| q.my_id())
+                .collect();
             assert_eq!(
                 ids,
                 (1..=n as u32).collect::<HashSet<u32>>(),
@@ -312,15 +314,17 @@ mod tests {
         let mut reached: HashSet<u32> = HashSet::new();
         for _ in 0..30_000 {
             runner.step().unwrap();
-            let ids: Vec<u32> = runner.config().as_slice().iter().map(|q| q.my_id()).collect();
+            let ids: Vec<u32> = runner
+                .config()
+                .as_slice()
+                .iter()
+                .map(|q| q.my_id())
+                .collect();
             for &v in &ids {
                 reached.insert(v);
             }
             for &v in &reached {
-                assert!(
-                    ids.contains(&v),
-                    "level {v} became unoccupied: {ids:?}"
-                );
+                assert!(ids.contains(&v), "level {v} became unoccupied: {ids:?}");
             }
             if all_named(runner.config()) {
                 break;

@@ -344,7 +344,11 @@ mod tests {
         // a1 observes a0 → pairing; a0 observes a1 → locks, commits fs;
         // a1 observes a0 → commits fr.
         runner
-            .apply_planned([Planned::ok(i(0, 1)), Planned::ok(i(1, 0)), Planned::ok(i(0, 1))])
+            .apply_planned([
+                Planned::ok(i(0, 1)),
+                Planned::ok(i(1, 0)),
+                Planned::ok(i(0, 1)),
+            ])
             .unwrap();
         // a0 locked, so a0 played the simulated starter: δ(c, p) = (cs, ⊥).
         assert_eq!(project(runner.config()).as_slice(), &['s', '_']);
@@ -422,6 +426,7 @@ mod tests {
         let locked = sid.observe(&s_pairing, &a0);
         assert_eq!(locked.phase(), SidPhase::Locked);
         assert_eq!(locked.simulated(), &'s'); // δ(c, p)[0] = cs
+
         // a0 moved to '_' meanwhile: guard fails, nothing happens.
         let a0_moved = SidState::new(0, '_');
         let unchanged = sid.observe(&s_pairing, &a0_moved);

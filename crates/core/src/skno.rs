@@ -93,10 +93,7 @@ impl<Q: Clone> Token<Q> {
                 starter,
                 reactor,
                 index,
-            } => Some((
-                RunKey::Change(starter.clone(), reactor.clone()),
-                *index,
-            )),
+            } => Some((RunKey::Change(starter.clone(), reactor.clone()), *index)),
             Token::Joker => None,
         }
     }
@@ -375,8 +372,7 @@ impl<P: TwoWayProtocol> Skno<P> {
         }
         let mut consume: Vec<usize> = positions.into_iter().flatten().collect();
         consume.extend(&jokers);
-        let owed_new: Vec<Token<P::State>> =
-            missing.iter().map(|&i| token_of(key, i)).collect();
+        let owed_new: Vec<Token<P::State>> = missing.iter().map(|&i| token_of(key, i)).collect();
         Some((consume, owed_new))
     }
 
@@ -475,8 +471,7 @@ impl<P: TwoWayProtocol> Skno<P> {
             // Core, pending branch: consume a state-change run announced
             // for our own state and play the simulated starter.
             let own = r.sim.clone();
-            let keys =
-                self.keys_in_queue(r, |k| matches!(k, RunKey::Change(s, _) if *s == own));
+            let keys = self.keys_in_queue(r, |k| matches!(k, RunKey::Change(s, _) if *s == own));
             if let Some(RunKey::Change(_, q_r)) = self.complete_best(r, keys) {
                 let old = r.sim.clone();
                 r.sim = self.protocol.starter_out(&old, &q_r);
@@ -558,9 +553,7 @@ impl<Q: State> SimulatorState for SknoState<Q> {
 mod tests {
     use super::*;
     use crate::project;
-    use ppfts_engine::{
-        BoundedStrategy, OneWayModel, OneWayRunner, Planned, RateStrategy,
-    };
+    use ppfts_engine::{BoundedStrategy, OneWayModel, OneWayRunner, Planned, RateStrategy};
     use ppfts_population::{Interaction, TableProtocol};
 
     fn pairing() -> TableProtocol<char> {
@@ -584,7 +577,9 @@ mod tests {
             .config(Skno::<TableProtocol<char>>::initial(&['c', 'p']))
             .build()
             .unwrap();
-        runner.apply_planned([Planned::ok(i(0, 1)), Planned::ok(i(1, 0))]).unwrap();
+        runner
+            .apply_planned([Planned::ok(i(0, 1)), Planned::ok(i(1, 0))])
+            .unwrap();
         assert_eq!(project(runner.config()).as_slice(), &['s', '_']);
     }
 
@@ -714,7 +709,9 @@ mod tests {
             .config(Skno::<TableProtocol<char>>::initial(&['c', 'p']))
             .build()
             .unwrap();
-        runner.apply_planned([Planned::ok(i(0, 1)), Planned::ok(i(1, 0))]).unwrap();
+        runner
+            .apply_planned([Planned::ok(i(0, 1)), Planned::ok(i(1, 0))])
+            .unwrap();
         let states = runner.config().as_slice();
         // a1 committed as simulated reactor against partner 'c'.
         let c1 = states[1].last_commit().unwrap();
@@ -758,7 +755,10 @@ mod tests {
         let tok = s.sending.pop_front().unwrap();
         skno.enqueue(&mut s, tok);
         skno.checks(&mut s);
-        assert!(!s.is_pending(), "own-run return must cancel the pending transaction");
+        assert!(
+            !s.is_pending(),
+            "own-run return must cancel the pending transaction"
+        );
         assert_eq!(s.commit_count(), 0, "cancellation is not a commit");
     }
 

@@ -320,7 +320,10 @@ impl BurstStrategy {
     /// Panics unless both parameters are probabilities and
     /// `continue_rate < 1.0` (bursts must be finite almost surely).
     pub fn new(burst_rate: f64, continue_rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&burst_rate), "burst rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&burst_rate),
+            "burst rate must be a probability"
+        );
         assert!(
             (0.0..1.0).contains(&continue_rate),
             "continue rate must be a probability below 1"
@@ -453,7 +456,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(8);
         let mut adv = HorizonStrategy::new(1.0, 4);
         let pattern: Vec<bool> = (0..8).map(|t| adv.decide(t, &mut rng)).collect();
-        assert_eq!(pattern, [true, true, true, true, false, false, false, false]);
+        assert_eq!(
+            pattern,
+            [true, true, true, true, false, false, false, false]
+        );
         assert_eq!(adv.injected(), 4);
     }
 

@@ -2,11 +2,12 @@
 //!
 //! Experiment harnesses estimate convergence-time distributions by running
 //! the same system under many scheduler seeds. [`run_seeds`] fans the seeds
-//! out over a fixed-size thread pool (crossbeam scoped threads, so the
-//! closure may borrow from the caller) and returns the per-seed results in
-//! seed order.
+//! out over a fixed-size thread pool (`std::thread::scope`, so the closure
+//! may borrow from the caller) and returns the per-seed results in seed
+//! order.
 
-use crossbeam::channel;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Result of one seeded run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,31 +51,37 @@ where
     if seeds.is_empty() {
         return Vec::new();
     }
-    let (task_tx, task_rx) = channel::unbounded::<u64>();
-    let (result_tx, result_rx) = channel::unbounded::<SeedSummary<T>>();
+    let (task_tx, task_rx) = mpsc::channel::<u64>();
+    let (result_tx, result_rx) = mpsc::channel::<SeedSummary<T>>();
     for &seed in &seeds {
         task_tx.send(seed).expect("receiver alive");
     }
     drop(task_tx);
 
+    // mpsc receivers are single-consumer; a Mutex turns the task queue
+    // into the shared work-stealing channel crossbeam provided.
+    let task_rx = Mutex::new(task_rx);
     let workers = threads.min(seeds.len());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
+            let task_rx = &task_rx;
             let result_tx = result_tx.clone();
             let f = &f;
-            scope.spawn(move |_| {
-                while let Ok(seed) = task_rx.recv() {
-                    let value = f(seed);
-                    if result_tx.send(SeedSummary { seed, value }).is_err() {
-                        break;
+            scope.spawn(move || loop {
+                let next = task_rx.lock().expect("queue poisoned").recv();
+                match next {
+                    Ok(seed) => {
+                        let value = f(seed);
+                        if result_tx.send(SeedSummary { seed, value }).is_err() {
+                            break;
+                        }
                     }
+                    Err(_) => break,
                 }
             });
         }
         drop(result_tx);
-    })
-    .expect("worker panicked");
+    });
 
     let mut results: Vec<SeedSummary<T>> = result_rx.into_iter().collect();
     results.sort_by_key(|s| s.seed);

@@ -9,7 +9,9 @@
 
 use ppfts_population::{Configuration, Multiset, State};
 
-use crate::{outcome, OneWayFault, OneWayModel, OneWayProgram, TwoWayFault, TwoWayModel, TwoWayProgram};
+use crate::{
+    outcome, OneWayFault, OneWayModel, OneWayProgram, TwoWayFault, TwoWayModel, TwoWayProgram,
+};
 
 /// Whether `config` is **silent** under a two-way program: no ordered pair
 /// of (distinct) present states changes under any fault the model
@@ -156,8 +158,16 @@ mod tests {
             |s: &u8, r: &u8| if *s == 1 && *r == 1 { 2 } else { *s },
             |s: &u8, r: &u8| if *s == 1 && *r == 1 { 2 } else { *r },
         );
-        assert!(silent_two_way(TwoWayModel::Tw, &p, &Configuration::new(vec![1, 0])));
-        assert!(!silent_two_way(TwoWayModel::Tw, &p, &Configuration::new(vec![1, 1])));
+        assert!(silent_two_way(
+            TwoWayModel::Tw,
+            &p,
+            &Configuration::new(vec![1, 0])
+        ));
+        assert!(!silent_two_way(
+            TwoWayModel::Tw,
+            &p,
+            &Configuration::new(vec![1, 1])
+        ));
     }
 
     #[test]

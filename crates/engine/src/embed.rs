@@ -149,8 +149,7 @@ mod tests {
     #[test]
     fn reactor_side_omission_matches_i3() {
         let e = EmbedOneWay::new(Probe);
-        let two =
-            outcome::two_way(TwoWayModel::T3, &e, &'i', &'i', TwoWayFault::Reactor).unwrap();
+        let two = outcome::two_way(TwoWayModel::T3, &e, &'i', &'i', TwoWayFault::Reactor).unwrap();
         let one =
             outcome::one_way(OneWayModel::I3, &Probe, &'i', &'i', OneWayFault::Omission).unwrap();
         assert_eq!(two, one);

@@ -50,10 +50,16 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::FaultNotInRelation { model, fault } => {
-                write!(f, "fault `{fault}` is not in the transition relation of model {model}")
+                write!(
+                    f,
+                    "fault `{fault}` is not in the transition relation of model {model}"
+                )
             }
             EngineError::InvalidPopulation { len } => {
-                write!(f, "runner needs a population of at least 2 agents, got {len}")
+                write!(
+                    f,
+                    "runner needs a population of at least 2 agents, got {len}"
+                )
             }
             EngineError::Population(e) => write!(f, "population error: {e}"),
         }

@@ -69,23 +69,79 @@ pub fn direct_inclusions() -> &'static [Arrow] {
     use ArrowReason::*;
     &[
         // Two-way chain: less detection → more detection.
-        Arrow { from: T1, to: T2, reason: Specialization("o := id (plus the pruned no-op outcome)") },
-        Arrow { from: T2, to: T3, reason: Specialization("h := id") },
+        Arrow {
+            from: T1,
+            to: T2,
+            reason: Specialization("o := id (plus the pruned no-op outcome)"),
+        },
+        Arrow {
+            from: T2,
+            to: T3,
+            reason: Specialization("h := id"),
+        },
         // Omissive models include their fault-free base.
-        Arrow { from: T1, to: TW, reason: AdversaryAvoidance },
-        Arrow { from: T2, to: TW, reason: AdversaryAvoidance },
-        Arrow { from: T3, to: TW, reason: AdversaryAvoidance },
-        Arrow { from: I1, to: IT, reason: AdversaryAvoidance },
-        Arrow { from: I2, to: IT, reason: AdversaryAvoidance },
-        Arrow { from: I3, to: IT, reason: AdversaryAvoidance },
-        Arrow { from: I4, to: IT, reason: AdversaryAvoidance },
+        Arrow {
+            from: T1,
+            to: TW,
+            reason: AdversaryAvoidance,
+        },
+        Arrow {
+            from: T2,
+            to: TW,
+            reason: AdversaryAvoidance,
+        },
+        Arrow {
+            from: T3,
+            to: TW,
+            reason: AdversaryAvoidance,
+        },
+        Arrow {
+            from: I1,
+            to: IT,
+            reason: AdversaryAvoidance,
+        },
+        Arrow {
+            from: I2,
+            to: IT,
+            reason: AdversaryAvoidance,
+        },
+        Arrow {
+            from: I3,
+            to: IT,
+            reason: AdversaryAvoidance,
+        },
+        Arrow {
+            from: I4,
+            to: IT,
+            reason: AdversaryAvoidance,
+        },
         // One-way omissive lattice: weak detection → strong detection.
-        Arrow { from: I1, to: I3, reason: Specialization("h := id") },
-        Arrow { from: I2, to: I3, reason: Specialization("h := g") },
-        Arrow { from: I2, to: I4, reason: Specialization("o := g") },
+        Arrow {
+            from: I1,
+            to: I3,
+            reason: Specialization("h := id"),
+        },
+        Arrow {
+            from: I2,
+            to: I3,
+            reason: Specialization("h := g"),
+        },
+        Arrow {
+            from: I2,
+            to: I4,
+            reason: Specialization("o := g"),
+        },
         // One-way bases into the stronger worlds.
-        Arrow { from: IO, to: IT, reason: Specialization("g := id") },
-        Arrow { from: IT, to: TW, reason: Specialization("fs(s, r) := g(s), fr := f") },
+        Arrow {
+            from: IO,
+            to: IT,
+            reason: Specialization("g := id"),
+        },
+        Arrow {
+            from: IT,
+            to: TW,
+            reason: Specialization("fs(s, r) := g(s), fr := f"),
+        },
     ]
 }
 

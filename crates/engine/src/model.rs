@@ -313,9 +313,15 @@ mod tests {
 
     #[test]
     fn t1_relation_prunes_both_sides_omission() {
-        assert!(!TwoWayModel::T1.permitted_faults().contains(&TwoWayFault::Both));
-        assert!(TwoWayModel::T2.permitted_faults().contains(&TwoWayFault::Both));
-        assert!(TwoWayModel::T3.permitted_faults().contains(&TwoWayFault::Both));
+        assert!(!TwoWayModel::T1
+            .permitted_faults()
+            .contains(&TwoWayFault::Both));
+        assert!(TwoWayModel::T2
+            .permitted_faults()
+            .contains(&TwoWayFault::Both));
+        assert!(TwoWayModel::T3
+            .permitted_faults()
+            .contains(&TwoWayFault::Both));
     }
 
     #[test]

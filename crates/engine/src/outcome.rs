@@ -7,7 +7,9 @@
 //! defined in exactly one place.
 
 use crate::program::{reactor_hook_on_omission, ReactorOmissionHook};
-use crate::{EngineError, OneWayFault, OneWayModel, OneWayProgram, TwoWayFault, TwoWayModel, TwoWayProgram};
+use crate::{
+    EngineError, OneWayFault, OneWayModel, OneWayProgram, TwoWayFault, TwoWayModel, TwoWayProgram,
+};
 
 /// Outcome pair of one **two-way** interaction between states `s`
 /// (starter) and `r` (reactor) under `model`, decorated with `fault`.
@@ -48,10 +50,7 @@ pub fn two_way<P: TwoWayProgram>(
         });
     }
     let out = match fault {
-        TwoWayFault::None => (
-            program.starter_update(s, r),
-            program.reactor_update(s, r),
-        ),
+        TwoWayFault::None => (program.starter_update(s, r), program.reactor_update(s, r)),
         TwoWayFault::Starter => {
             let s2 = if model.starter_detects() {
                 program.starter_omission(s)
@@ -204,7 +203,11 @@ mod tests {
 
     #[test]
     fn tw_rejects_all_omissions() {
-        for fault in [TwoWayFault::Starter, TwoWayFault::Reactor, TwoWayFault::Both] {
+        for fault in [
+            TwoWayFault::Starter,
+            TwoWayFault::Reactor,
+            TwoWayFault::Both,
+        ] {
             assert!(two_way(TwoWayModel::Tw, &Probe, &'i', &'i', fault).is_err());
         }
         assert_eq!(
@@ -216,28 +219,58 @@ mod tests {
     #[test]
     fn t1_outcomes_match_figure_1() {
         let m = TwoWayModel::T1;
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::None).unwrap(), ('S', 'R'));
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Starter).unwrap(), ('i', 'R'));
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Reactor).unwrap(), ('S', 'i'));
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::None).unwrap(),
+            ('S', 'R')
+        );
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::Starter).unwrap(),
+            ('i', 'R')
+        );
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::Reactor).unwrap(),
+            ('S', 'i')
+        );
         assert!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Both).is_err());
     }
 
     #[test]
     fn t2_outcomes_match_figure_1() {
         let m = TwoWayModel::T2;
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Starter).unwrap(), ('o', 'R'));
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::Starter).unwrap(),
+            ('o', 'R')
+        );
         // Reactor-side omission is undetectable in T2: identity.
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Reactor).unwrap(), ('S', 'i'));
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Both).unwrap(), ('o', 'i'));
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::Reactor).unwrap(),
+            ('S', 'i')
+        );
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::Both).unwrap(),
+            ('o', 'i')
+        );
     }
 
     #[test]
     fn t3_outcomes_match_figure_1() {
         let m = TwoWayModel::T3;
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::None).unwrap(), ('S', 'R'));
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Starter).unwrap(), ('o', 'R'));
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Reactor).unwrap(), ('S', 'h'));
-        assert_eq!(two_way(m, &Probe, &'i', &'i', TwoWayFault::Both).unwrap(), ('o', 'h'));
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::None).unwrap(),
+            ('S', 'R')
+        );
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::Starter).unwrap(),
+            ('o', 'R')
+        );
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::Reactor).unwrap(),
+            ('S', 'h')
+        );
+        assert_eq!(
+            two_way(m, &Probe, &'i', &'i', TwoWayFault::Both).unwrap(),
+            ('o', 'h')
+        );
     }
 
     #[test]
@@ -264,18 +297,35 @@ mod tests {
     fn omissive_one_way_outcomes_match_figure_1() {
         let om = OneWayFault::Omission;
         // I1: (g(s), r)
-        assert_eq!(one_way(OneWayModel::I1, &Probe1, &'i', &'i', om).unwrap(), ('g', 'i'));
+        assert_eq!(
+            one_way(OneWayModel::I1, &Probe1, &'i', &'i', om).unwrap(),
+            ('g', 'i')
+        );
         // I2: (g(s), g(r))
-        assert_eq!(one_way(OneWayModel::I2, &Probe1, &'i', &'i', om).unwrap(), ('g', 'g'));
+        assert_eq!(
+            one_way(OneWayModel::I2, &Probe1, &'i', &'i', om).unwrap(),
+            ('g', 'g')
+        );
         // I3: (g(s), h(r))
-        assert_eq!(one_way(OneWayModel::I3, &Probe1, &'i', &'i', om).unwrap(), ('g', 'h'));
+        assert_eq!(
+            one_way(OneWayModel::I3, &Probe1, &'i', &'i', om).unwrap(),
+            ('g', 'h')
+        );
         // I4: (o(s), g(r))
-        assert_eq!(one_way(OneWayModel::I4, &Probe1, &'i', &'i', om).unwrap(), ('o', 'g'));
+        assert_eq!(
+            one_way(OneWayModel::I4, &Probe1, &'i', &'i', om).unwrap(),
+            ('o', 'g')
+        );
     }
 
     #[test]
     fn fault_free_omissive_models_behave_like_it() {
-        for m in [OneWayModel::I1, OneWayModel::I2, OneWayModel::I3, OneWayModel::I4] {
+        for m in [
+            OneWayModel::I1,
+            OneWayModel::I2,
+            OneWayModel::I3,
+            OneWayModel::I4,
+        ] {
             assert_eq!(
                 one_way(m, &Probe1, &'i', &'i', OneWayFault::None).unwrap(),
                 ('g', 'f'),

@@ -590,7 +590,10 @@ mod tests {
         assert_eq!(run(42), run(42));
         let (_, s1) = run(42);
         let (_, s2) = run(43);
-        assert_ne!((s1.omissive_steps, s1.changed_steps), (s2.omissive_steps, s2.changed_steps));
+        assert_ne!(
+            (s1.omissive_steps, s1.changed_steps),
+            (s2.omissive_steps, s2.changed_steps)
+        );
     }
 
     #[test]

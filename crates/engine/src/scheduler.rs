@@ -123,7 +123,10 @@ impl<F: Scheduler> Scheduler for ScriptedScheduler<F> {
     fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction {
         match self.script.pop_front() {
             Some(i) => {
-                debug_assert!(i.check_bounds(n).is_ok(), "scripted interaction out of bounds");
+                debug_assert!(
+                    i.check_bounds(n).is_ok(),
+                    "scripted interaction out of bounds"
+                );
                 i
             }
             None => self.fallback.next_interaction(n, rng),
@@ -221,7 +224,9 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         let trials = 12_000;
         for _ in 0..trials {
-            *counts.entry(sched.next_interaction(3, &mut rng)).or_insert(0u32) += 1;
+            *counts
+                .entry(sched.next_interaction(3, &mut rng))
+                .or_insert(0u32) += 1;
         }
         let expect = trials as f64 / 6.0;
         for (_, c) in counts {

@@ -120,7 +120,10 @@ impl<Q: State, F> Trace<Q, F> {
 
     /// Number of steps whose fault satisfies `is_omissive`.
     pub fn omissive_count(&self, mut is_omissive: impl FnMut(&F) -> bool) -> usize {
-        self.records.iter().filter(|r| is_omissive(&r.fault)).count()
+        self.records
+            .iter()
+            .filter(|r| is_omissive(&r.fault))
+            .count()
     }
 
     /// Number of steps that changed at least one endpoint.
@@ -164,7 +167,13 @@ mod tests {
     use super::*;
     use crate::OneWayFault;
 
-    fn rec(index: u64, s: usize, r: usize, fault: OneWayFault, delta: bool) -> StepRecord<u8, OneWayFault> {
+    fn rec(
+        index: u64,
+        s: usize,
+        r: usize,
+        fault: OneWayFault,
+        delta: bool,
+    ) -> StepRecord<u8, OneWayFault> {
         StepRecord {
             index,
             interaction: Interaction::new(s, r).unwrap(),

@@ -41,9 +41,7 @@ impl<Q: State> Configuration<Q> {
 
     /// Creates a configuration of `n` agents all in state `q`.
     pub fn uniform(q: Q, n: usize) -> Self {
-        Configuration {
-            states: vec![q; n],
-        }
+        Configuration { states: vec![q; n] }
     }
 
     /// Creates a configuration with `counts` groups: `(state, how many)`.
@@ -246,7 +244,9 @@ mod tests {
     #[test]
     fn apply_updates_both_roles() {
         let mut c = Configuration::new(vec![true, false]);
-        let old = c.apply(&epidemic(), Interaction::new(0, 1).unwrap()).unwrap();
+        let old = c
+            .apply(&epidemic(), Interaction::new(0, 1).unwrap())
+            .unwrap();
         assert_eq!(old, (true, false));
         assert_eq!(c.as_slice(), &[true, true]);
     }

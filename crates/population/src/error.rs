@@ -39,10 +39,16 @@ impl fmt::Display for PopulationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PopulationError::PopulationTooSmall { len } => {
-                write!(f, "population of {len} agent(s) cannot interact; need at least 2")
+                write!(
+                    f,
+                    "population of {len} agent(s) cannot interact; need at least 2"
+                )
             }
             PopulationError::AgentOutOfBounds { agent, len } => {
-                write!(f, "agent index {agent} out of bounds for population of {len}")
+                write!(
+                    f,
+                    "agent index {agent} out of bounds for population of {len}"
+                )
             }
             PopulationError::SelfInteraction { agent } => {
                 write!(f, "agent {agent} cannot interact with itself")

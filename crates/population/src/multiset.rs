@@ -122,11 +122,7 @@ impl<Q: State> Multiset<Q> {
     /// Whether the two multisets contain the same elements with the same
     /// multiplicities.
     pub fn same_as(&self, other: &Multiset<Q>) -> bool {
-        self.len == other.len
-            && self
-                .counts
-                .iter()
-                .all(|(q, &c)| other.count(q) == c)
+        self.len == other.len && self.counts.iter().all(|(q, &c)| other.count(q) == c)
     }
 }
 

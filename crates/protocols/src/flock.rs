@@ -153,8 +153,14 @@ mod tests {
         for u in 0..=5 {
             for v in 0..=5u32.saturating_sub(u) {
                 let (s, r) = flock.delta(
-                    &FlockState { count: u, detected: false },
-                    &FlockState { count: v, detected: false },
+                    &FlockState {
+                        count: u,
+                        detected: false,
+                    },
+                    &FlockState {
+                        count: v,
+                        detected: false,
+                    },
                 );
                 assert_eq!(s.count + r.count, u + v);
                 assert!(s.count <= 5);
@@ -195,8 +201,14 @@ mod tests {
     #[test]
     fn detection_flag_spreads_both_ways() {
         let flock = FlockOfBirds::new(2);
-        let lit = FlockState { count: 0, detected: true };
-        let dark = FlockState { count: 0, detected: false };
+        let lit = FlockState {
+            count: 0,
+            detected: true,
+        };
+        let dark = FlockState {
+            count: 0,
+            detected: false,
+        };
         let (s, r) = flock.delta(&lit, &dark);
         assert!(s.detected && r.detected);
         let (s, r) = flock.delta(&dark, &lit);

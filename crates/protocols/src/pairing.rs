@@ -156,7 +156,10 @@ mod tests {
                 .build()
                 .unwrap();
             let out = runner.run_until(200_000, |c| Pairing::paired_count(c) == expected);
-            assert!(out.is_satisfied(), "{consumers}c/{producers}p never stabilized");
+            assert!(
+                out.is_satisfied(),
+                "{consumers}c/{producers}p never stabilized"
+            );
             // Safety held throughout (checked here at the end; the
             // verify crate checks it per-step).
             assert!(Pairing::paired_count(runner.config()) <= producers);

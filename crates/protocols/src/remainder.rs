@@ -215,10 +215,10 @@ mod tests {
     #[test]
     fn stably_computes_remainder() {
         for (m, r, inputs) in [
-            (2, 1, vec![1, 1, 1]),        // 3 mod 2 == 1 → true
-            (2, 0, vec![1, 1, 1]),        // false
-            (3, 2, vec![4, 4]),           // 8 mod 3 == 2 → true
-            (7, 3, vec![10, 0, 0, 0]),    // 10 mod 7 == 3 → true
+            (2, 1, vec![1, 1, 1]),     // 3 mod 2 == 1 → true
+            (2, 0, vec![1, 1, 1]),     // false
+            (3, 2, vec![4, 4]),        // 8 mod 3 == 2 → true
+            (7, 3, vec![10, 0, 0, 0]), // 10 mod 7 == 3 → true
         ] {
             let p = Remainder::new(m, r);
             let expected = p.expected(&inputs);

@@ -49,11 +49,7 @@ impl Atom {
     fn ground_truth(&self, counts: &[u64]) -> bool {
         match self {
             Atom::Threshold { coeffs, threshold } => {
-                let sum: u64 = coeffs
-                    .iter()
-                    .zip(counts)
-                    .map(|(&c, &n)| c as u64 * n)
-                    .sum();
+                let sum: u64 = coeffs.iter().zip(counts).map(|(&c, &n)| c as u64 * n).sum();
                 sum >= *threshold as u64
             }
             Atom::Remainder {
@@ -61,11 +57,7 @@ impl Atom {
                 modulus,
                 residue,
             } => {
-                let sum: u64 = coeffs
-                    .iter()
-                    .zip(counts)
-                    .map(|(&c, &n)| c as u64 * n)
-                    .sum();
+                let sum: u64 = coeffs.iter().zip(counts).map(|(&c, &n)| c as u64 * n).sum();
                 sum % *modulus as u64 == *residue as u64
             }
         }
@@ -205,13 +197,19 @@ impl std::fmt::Display for SemilinearError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SemilinearError::AtomIndexOutOfRange { index, atoms } => {
-                write!(f, "expression references atom {index} but only {atoms} atoms exist")
+                write!(
+                    f,
+                    "expression references atom {index} but only {atoms} atoms exist"
+                )
             }
             SemilinearError::ArityMismatch => {
                 write!(f, "atoms disagree on the number of input symbols")
             }
             SemilinearError::DegenerateAtom { index } => {
-                write!(f, "atom {index} is degenerate (zero threshold or bad modulus)")
+                write!(
+                    f,
+                    "atom {index} is degenerate (zero threshold or bad modulus)"
+                )
             }
         }
     }
@@ -269,22 +267,39 @@ impl SemilinearProtocol {
         match (atom, s, r) {
             (
                 Atom::Threshold { threshold, .. },
-                AtomState::Threshold { value: u, detected: du },
-                AtomState::Threshold { value: v, detected: dv },
+                AtomState::Threshold {
+                    value: u,
+                    detected: du,
+                },
+                AtomState::Threshold {
+                    value: v,
+                    detected: dv,
+                },
             ) => {
                 let k = *threshold;
                 let total = u + v;
                 let kept = total.min(k);
                 let reached = total >= k || *du || *dv;
                 (
-                    AtomState::Threshold { value: kept, detected: reached },
-                    AtomState::Threshold { value: total - kept, detected: reached },
+                    AtomState::Threshold {
+                        value: kept,
+                        detected: reached,
+                    },
+                    AtomState::Threshold {
+                        value: total - kept,
+                        detected: reached,
+                    },
                 )
             }
             (
-                Atom::Remainder { modulus, residue, .. },
+                Atom::Remainder {
+                    modulus, residue, ..
+                },
                 AtomState::Remainder { value: sv, .. },
-                AtomState::Remainder { value: rv, opinion: ro },
+                AtomState::Remainder {
+                    value: rv,
+                    opinion: ro,
+                },
             ) => {
                 let m = *modulus;
                 let test = |v: u32| v % m == *residue;
@@ -293,27 +308,48 @@ impl SemilinearProtocol {
                         let merged = (u + v) % m;
                         let opinion = test(merged);
                         (
-                            AtomState::Remainder { value: Some(merged), opinion },
-                            AtomState::Remainder { value: None, opinion },
+                            AtomState::Remainder {
+                                value: Some(merged),
+                                opinion,
+                            },
+                            AtomState::Remainder {
+                                value: None,
+                                opinion,
+                            },
                         )
                     }
                     (Some(u), None) => {
                         let opinion = test(*u);
                         (
-                            AtomState::Remainder { value: Some(*u), opinion },
-                            AtomState::Remainder { value: None, opinion },
+                            AtomState::Remainder {
+                                value: Some(*u),
+                                opinion,
+                            },
+                            AtomState::Remainder {
+                                value: None,
+                                opinion,
+                            },
                         )
                     }
                     (None, Some(v)) => {
                         let opinion = test(*v);
                         (
-                            AtomState::Remainder { value: None, opinion },
-                            AtomState::Remainder { value: Some(*v), opinion },
+                            AtomState::Remainder {
+                                value: None,
+                                opinion,
+                            },
+                            AtomState::Remainder {
+                                value: Some(*v),
+                                opinion,
+                            },
                         )
                     }
                     (None, None) => (
                         s.clone(),
-                        AtomState::Remainder { value: None, opinion: *ro },
+                        AtomState::Remainder {
+                            value: None,
+                            opinion: *ro,
+                        },
                     ),
                 }
             }
@@ -435,11 +471,8 @@ mod tests {
 
     #[test]
     fn single_threshold_atom_is_flock() {
-        let p = SemilinearProtocol::new(
-            vec![at_least(vec![0, 1], 3)],
-            PredicateExpr::atom(0),
-        )
-        .unwrap();
+        let p =
+            SemilinearProtocol::new(vec![at_least(vec![0, 1], 3)], PredicateExpr::atom(0)).unwrap();
         assert!(p.expected(&[1, 1, 1, 0]));
         assert!(!p.expected(&[1, 1, 0, 0]));
         assert!(run_to_expected(&p, &[1, 1, 1, 0], 1));
@@ -450,10 +483,7 @@ mod tests {
     fn conjunction_of_threshold_and_remainder() {
         // "≥ 2 marked AND total weight ≡ 0 (mod 3)", weights: plain 1, marked 2.
         let p = SemilinearProtocol::new(
-            vec![
-                at_least(vec![0, 1], 2),
-                modulo(vec![1, 2], 3, 0),
-            ],
+            vec![at_least(vec![0, 1], 2), modulo(vec![1, 2], 3, 0)],
             PredicateExpr::atom(0).and(PredicateExpr::atom(1)),
         )
         .unwrap();
@@ -469,10 +499,7 @@ mod tests {
     fn negation_and_disjunction() {
         // "NOT(≥ 3 a's) OR (count ≡ 1 mod 2)"
         let p = SemilinearProtocol::new(
-            vec![
-                at_least(vec![1, 0], 3),
-                modulo(vec![1, 1], 2, 1),
-            ],
+            vec![at_least(vec![1, 0], 3), modulo(vec![1, 1], 2, 1)],
             PredicateExpr::atom(0).not().or(PredicateExpr::atom(1)),
         )
         .unwrap();
@@ -494,11 +521,8 @@ mod tests {
     #[test]
     fn heavy_initial_weights_detect_immediately() {
         // One agent alone can exceed the threshold via its coefficient.
-        let p = SemilinearProtocol::new(
-            vec![at_least(vec![5], 3)],
-            PredicateExpr::atom(0),
-        )
-        .unwrap();
+        let p =
+            SemilinearProtocol::new(vec![at_least(vec![5], 3)], PredicateExpr::atom(0)).unwrap();
         let q = p.encode(&0);
         assert!(p.output(&q));
     }
@@ -523,11 +547,8 @@ mod tests {
             SemilinearError::DegenerateAtom { index: 0 }
         );
         assert_eq!(
-            SemilinearProtocol::new(
-                vec![modulo(vec![1], 2, 2)],
-                PredicateExpr::Const(true)
-            )
-            .unwrap_err(),
+            SemilinearProtocol::new(vec![modulo(vec![1], 2, 2)], PredicateExpr::Const(true))
+                .unwrap_err(),
             SemilinearError::DegenerateAtom { index: 0 }
         );
     }
@@ -537,10 +558,7 @@ mod tests {
         // A fixed moderately complex predicate over 3 symbols, checked on
         // a grid of small populations.
         let p = SemilinearProtocol::new(
-            vec![
-                at_least(vec![1, 0, 2], 4),
-                modulo(vec![0, 1, 1], 2, 0),
-            ],
+            vec![at_least(vec![1, 0, 2], 4), modulo(vec![0, 1, 1], 2, 0)],
             PredicateExpr::atom(0).or(PredicateExpr::atom(1).not()),
         )
         .unwrap();

@@ -32,9 +32,7 @@ use std::error::Error;
 use std::fmt;
 
 use ppfts_core::{fastest_transition_time, project, SimulatorState};
-use ppfts_engine::{
-    outcome, OneWayFault, OneWayModel, OneWayProgram, OneWayRunner, Planned,
-};
+use ppfts_engine::{outcome, OneWayFault, OneWayModel, OneWayProgram, OneWayRunner, Planned};
 use ppfts_population::{Configuration, Interaction, State};
 use ppfts_protocols::{Pairing, PairingState};
 
@@ -171,8 +169,8 @@ where
     for &(interaction, fault) in schedule {
         let s_is_d0 = interaction.starter().index() == 0;
         let (s, r) = if s_is_d0 { (&d0, &d1) } else { (&d1, &d0) };
-        let (s2, r2) = outcome::one_way(model, sim, s, r, fault)
-            .expect("fault permitted by construction");
+        let (s2, r2) =
+            outcome::one_way(model, sim, s, r, fault).expect("fault permitted by construction");
         if s_is_d0 {
             d0 = s2;
             d1 = r2;

@@ -20,9 +20,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use ppfts_engine::{
-    outcome, OneWayFault, OneWayModel, OneWayProgram, TwoWayModel, TwoWayProgram,
-};
+use ppfts_engine::{outcome, OneWayFault, OneWayModel, OneWayProgram, TwoWayModel, TwoWayProgram};
 use ppfts_population::{Configuration, Multiset, State};
 
 /// Exploration failed.
@@ -40,7 +38,10 @@ impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExploreError::TooManyConfigs { limit } => {
-                write!(f, "reachable configuration graph exceeded {limit} configurations")
+                write!(
+                    f,
+                    "reachable configuration graph exceeded {limit} configurations"
+                )
             }
         }
     }
@@ -96,9 +97,8 @@ impl<Q: State> StateGraph<Q> {
         sccs.into_iter()
             .enumerate()
             .filter(|(ci, comp)| {
-                comp.iter().all(|&node| {
-                    self.edges[node].iter().all(|&succ| comp_of[succ] == *ci)
-                })
+                comp.iter()
+                    .all(|&node| self.edges[node].iter().all(|&succ| comp_of[succ] == *ci))
             })
             .map(|(_, comp)| comp)
             .collect()
@@ -389,13 +389,9 @@ mod tests {
     fn pairing_liveness_and_safety_proved_for_small_n() {
         for (c, p) in [(2usize, 2usize), (3, 1), (1, 3), (2, 3)] {
             let expected = c.min(p);
-            let graph = explore_two_way(
-                TwoWayModel::Tw,
-                &Pairing,
-                &Pairing::initial(c, p),
-                100_000,
-            )
-            .unwrap();
+            let graph =
+                explore_two_way(TwoWayModel::Tw, &Pairing, &Pairing::initial(c, p), 100_000)
+                    .unwrap();
             assert!(
                 graph.always_stabilizes(|m| m.count(&PairingState::Paired) == expected),
                 "{c} consumers / {p} producers"

@@ -89,10 +89,7 @@ impl AuditReport {
 ///
 /// See `tests/simulation_correctness.rs` in the repository root, which
 /// audits `SKnO` and `SID` end-to-end.
-pub fn audit_pairing<P, S, A>(
-    runner: &mut OneWayRunner<P, S, A>,
-    max_steps: u64,
-) -> AuditReport
+pub fn audit_pairing<P, S, A>(runner: &mut OneWayRunner<P, S, A>, max_steps: u64) -> AuditReport
 where
     P: OneWayProgram,
     P::State: SimulatorState<Simulated = PairingState> + State,
@@ -130,8 +127,7 @@ where
             if was_paired[agent.index()] && !is_paired {
                 violations.push(PairingViolation::Revoked { agent, step });
             }
-            if is_paired && !was_paired[agent.index()] && !initially_consumer[agent.index()]
-            {
+            if is_paired && !was_paired[agent.index()] && !initially_consumer[agent.index()] {
                 violations.push(PairingViolation::ForgedPairing { agent, step });
             }
             was_paired[agent.index()] = is_paired;
@@ -172,10 +168,7 @@ where
 /// Convenience: run to completion with a plain predicate, no audit, and
 /// report whether Pairing stabilized. Used by benches where the per-step
 /// audit would dominate the measurement.
-pub fn pairing_converged<P, S, A>(
-    runner: &mut OneWayRunner<P, S, A>,
-    max_steps: u64,
-) -> RunOutcome
+pub fn pairing_converged<P, S, A>(runner: &mut OneWayRunner<P, S, A>, max_steps: u64) -> RunOutcome
 where
     P: OneWayProgram,
     P::State: SimulatorState<Simulated = PairingState> + State,

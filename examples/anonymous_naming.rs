@@ -20,13 +20,10 @@ use ppfts::protocols::{LeaderElection, LeaderState};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for n in [4usize, 8, 16] {
         let sims = vec![LeaderState::Leader; n];
-        let mut runner = OneWayRunner::builder(
-            OneWayModel::Io,
-            NamedSid::new(LeaderElection, n),
-        )
-        .config(NamedSid::<LeaderElection>::initial(&sims))
-        .seed(n as u64)
-        .build()?;
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(LeaderElection, n))
+            .config(NamedSid::<LeaderElection>::initial(&sims))
+            .seed(n as u64)
+            .build()?;
 
         // Phase 1: watch the naming layer converge.
         let named = runner.run_until(20_000_000, |c| {
@@ -34,9 +31,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
         assert!(named.is_satisfied(), "naming must terminate (Lemma 3)");
         let naming_steps = named.steps();
-        let mut ids: Vec<u32> = runner.config().as_slice().iter().map(|q| q.my_id()).collect();
+        let mut ids: Vec<u32> = runner
+            .config()
+            .as_slice()
+            .iter()
+            .map(|q| q.my_id())
+            .collect();
         ids.sort_unstable();
-        assert_eq!(ids, (1..=n as u32).collect::<Vec<_>>(), "a permutation of 1..=n");
+        assert_eq!(
+            ids,
+            (1..=n as u32).collect::<Vec<_>>(),
+            "a permutation of 1..=n"
+        );
 
         // Phase 2: the simulated leader election runs on the new names.
         let elected = runner.run_until(20_000_000, |c| {

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let sick = fevers.iter().filter(|b| **b).count();
     let expected = flock.expected(&fevers);
-    println!("flock of {} birds, {} feverish, threshold {THRESHOLD}", fevers.len(), sick);
+    println!(
+        "flock of {} birds, {} feverish, threshold {THRESHOLD}",
+        fevers.len(),
+        sick
+    );
     println!("ground truth: alarm = {expected}\n");
 
     let sim_states: Vec<_> = fevers.iter().map(|b| flock.encode(b)).collect();
@@ -39,14 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The adversary loses frames at a 2% rate but is budgeted to the
     // assumed bound — the condition under which Theorem 4.1 guarantees
     // correctness.
-    let mut runner = OneWayRunner::builder(
-        OneWayModel::I3,
-        Skno::new(flock, OMISSION_BOUND),
-    )
-    .config(Skno::<FlockOfBirds>::initial(&sim_states))
-    .adversary(BoundedStrategy::new(0.02, OMISSION_BOUND as u64))
-    .seed(2026)
-    .build()?;
+    let mut runner = OneWayRunner::builder(OneWayModel::I3, Skno::new(flock, OMISSION_BOUND))
+        .config(Skno::<FlockOfBirds>::initial(&sim_states))
+        .adversary(BoundedStrategy::new(0.02, OMISSION_BOUND as u64))
+        .seed(2026)
+        .build()?;
 
     let out = runner.run_until(5_000_000, |c| {
         unanimous_output(&project(c), |q| q.detected) == Some(expected)

@@ -25,7 +25,10 @@ impl OneWayProgram for OneWayEpidemic {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("The ten interaction models (paper Figure 1)\n");
-    println!("{:<6} {:<9} {:<11} detection", "model", "family", "omissive?");
+    println!(
+        "{:<6} {:<9} {:<11} detection",
+        "model", "family", "omissive?"
+    );
     println!("{}", "-".repeat(48));
     for model in Model::ALL {
         let (family, detection) = match model {
@@ -55,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<6} {:<9} {:<11} {}",
             model.to_string(),
             family,
-            if model.allows_omissions() { "yes" } else { "no" },
+            if model.allows_omissions() {
+                "yes"
+            } else {
+                "no"
+            },
             detection
         );
     }
@@ -66,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ArrowReason::Specialization(s) => format!("relation specialization: {s}"),
             ArrowReason::AdversaryAvoidance => "adversary avoids omissions".to_string(),
         };
-        println!("  {:>3} → {:<3}  ({why})", arrow.from.to_string(), arrow.to.to_string());
+        println!(
+            "  {:>3} → {:<3}  ({why})",
+            arrow.from.to_string(),
+            arrow.to.to_string()
+        );
     }
 
     println!("\nReachability matrix of the closure (✓ = row ⊆ column):\n");

@@ -23,7 +23,10 @@ use ppfts::verify::{lemma1_attack, AttackOutcome};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Lemma 1 / Theorem 3.1: the omission attack on SKnO (model I3)\n");
-    println!("{:>3} | {:>4} | {:>9} | {:>9} | {:>8} | verdict", "o", "FTT", "producers", "paired cs", "omitted");
+    println!(
+        "{:>3} | {:>4} | {:>9} | {:>9} | {:>8} | verdict",
+        "o", "FTT", "producers", "paired cs", "omitted"
+    );
     println!("{}", "-".repeat(64));
 
     for o in 1..=3u32 {
@@ -57,8 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             AttackOutcome::Withstood { paired } => format!("withstood ({paired} paired)"),
         };
         let paired = match report.outcome {
-            AttackOutcome::SafetyViolated { paired, .. }
-            | AttackOutcome::Withstood { paired } => paired,
+            AttackOutcome::SafetyViolated { paired, .. } | AttackOutcome::Withstood { paired } => {
+                paired
+            }
             AttackOutcome::NotResilient { .. } => 0,
         };
         println!(

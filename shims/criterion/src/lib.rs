@@ -1,0 +1,299 @@
+//! Offline drop-in for the subset of `criterion` 0.5 the `ppfts` benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so this crate stands
+//! in for the real statistics engine with a plain wall-clock harness: each
+//! benchmark is warmed up once, timed for `sample_size` samples, and the
+//! mean/min per-iteration times are printed. It honors the `--test` flag
+//! that `cargo test` passes to `harness = false` bench targets by running
+//! each benchmark exactly once, so `cargo test` stays fast and green.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Mode the harness runs in, derived from CLI args.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// Smoke execution (`cargo test` passes `--test`): one iteration each.
+    Test,
+}
+
+/// Top-level harness handle, passed to every registered bench function.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                // Flags cargo's test/bench drivers pass that we ignore.
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        self.run_one(&name, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = match self.mode {
+            Mode::Test => 1,
+            Mode::Bench => sample_size.max(1),
+        };
+        let mut bencher = Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+            min: Duration::MAX,
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Test => println!("test {id} ... ok"),
+            Mode::Bench => {
+                let mean = if bencher.iters > 0 {
+                    bencher.total / bencher.iters as u32
+                } else {
+                    Duration::ZERO
+                };
+                println!(
+                    "{id:<50} mean {:>12?}  min {:>12?}  ({} iters)",
+                    mean, bencher.min, bencher.iters
+                );
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not use a time target.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let n = self.sample_size.unwrap_or(10);
+        self.criterion.run_one(&full, n, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let n = self.sample_size.unwrap_or(10);
+        self.criterion.run_one(&full, n, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; reports print as they run).
+    pub fn finish(self) {}
+}
+
+/// Timing handle given to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample after one warm-up call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        hint::black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint::black_box(routine());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.iters += 1;
+            if dt < self.min {
+                self.min = dt;
+            }
+        }
+    }
+}
+
+/// Identifier for one benchmark: a function name and/or parameter value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id, for groups benching one function over inputs.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark id: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: None,
+            default_sample_size: 10,
+        };
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(5).bench_function("count", |b| {
+                b.iter(|| ran += 1);
+            });
+            group.finish();
+        }
+        // Test mode: one warm-up + one timed iteration.
+        assert_eq!(ran, 2);
+    }
+}

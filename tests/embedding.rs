@@ -16,16 +16,14 @@ fn skno_embedded_in_t3_survives_reactor_side_omissions() {
     // Reactor-side T3 omissions are exactly I3 omissions for an embedded
     // one-way program, so SKnO's guarantee carries over verbatim.
     let o = 2;
-    let mut runner = TwoWayRunner::builder(
-        TwoWayModel::T3,
-        EmbedOneWay::new(Skno::new(Pairing, o)),
-    )
-    .config(Skno::<Pairing>::initial(&sims(2, 2)))
-    .adversary(BoundedStrategy::new(0.03, o as u64))
-    .side_policy(SidePolicy::Always(TwoWayFault::Reactor))
-    .seed(3)
-    .build()
-    .unwrap();
+    let mut runner =
+        TwoWayRunner::builder(TwoWayModel::T3, EmbedOneWay::new(Skno::new(Pairing, o)))
+            .config(Skno::<Pairing>::initial(&sims(2, 2)))
+            .adversary(BoundedStrategy::new(0.03, o as u64))
+            .side_policy(SidePolicy::Always(TwoWayFault::Reactor))
+            .seed(3)
+            .build()
+            .unwrap();
     let out = runner.run_until(2_000_000, |c| {
         project(c).count_state(&PairingState::Paired) == 2
     });
@@ -40,16 +38,14 @@ fn skno_embedded_budget_must_cover_double_minting_for_both_sides() {
     // still converges.
     let o = 2u32;
     let adversary_budget = 1u64; // 1 both-sides omission = 2 jokers ≤ o
-    let mut runner = TwoWayRunner::builder(
-        TwoWayModel::T3,
-        EmbedOneWay::new(Skno::new(Pairing, o)),
-    )
-    .config(Skno::<Pairing>::initial(&sims(2, 2)))
-    .adversary(BoundedStrategy::new(0.03, adversary_budget))
-    .side_policy(SidePolicy::Always(TwoWayFault::Both))
-    .seed(4)
-    .build()
-    .unwrap();
+    let mut runner =
+        TwoWayRunner::builder(TwoWayModel::T3, EmbedOneWay::new(Skno::new(Pairing, o)))
+            .config(Skno::<Pairing>::initial(&sims(2, 2)))
+            .adversary(BoundedStrategy::new(0.03, adversary_budget))
+            .side_policy(SidePolicy::Always(TwoWayFault::Both))
+            .seed(4)
+            .build()
+            .unwrap();
     let out = runner.run_until(2_000_000, |c| {
         project(c).count_state(&PairingState::Paired) == 2
     });
@@ -129,5 +125,8 @@ fn sid_simulators_are_never_silent_by_design() {
     let out = runner.run_until_stable(20_000, 500);
     assert!(!out.is_satisfied(), "SID handshakes forever");
     // Yet the simulated protocol has long stabilized.
-    assert_eq!(project(runner.config()).count_state(&PairingState::Paired), 1);
+    assert_eq!(
+        project(runner.config()).count_state(&PairingState::Paired),
+        1
+    );
 }

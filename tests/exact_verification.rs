@@ -49,8 +49,7 @@ fn pairing_solves_pair_proved() {
     for (c, p) in [(1usize, 1usize), (2, 1), (1, 2), (2, 2), (3, 2)] {
         let expected = c.min(p);
         let graph =
-            explore_two_way(TwoWayModel::Tw, &Pairing, &Pairing::initial(c, p), 100_000)
-                .unwrap();
+            explore_two_way(TwoWayModel::Tw, &Pairing, &Pairing::initial(c, p), 100_000).unwrap();
         // Liveness: every GF execution ends with exactly min(c, p) paired.
         assert!(graph.always_stabilizes(|m| m.count(&PairingState::Paired) == expected));
         // Safety + irrevocability corollary: never more paired than

@@ -40,8 +40,7 @@ fn no_assumptions(model: Model) -> Cell {
                 Model::OneWay(m) => m,
                 _ => unreachable!(),
             };
-            let report =
-                lemma1_attack(m, Skno::new(Pairing, 1), SknoState::new, 128, 512).unwrap();
+            let report = lemma1_attack(m, Skno::new(Pairing, 1), SknoState::new, 128, 512).unwrap();
             assert!(report.violated_safety());
             Cell::Impossible
         }
@@ -101,8 +100,8 @@ fn knowledge_of_omissions(model: Model) -> Cell {
             Cell::Possible
         }
         Model::OneWay(m @ (OneWayModel::I1 | OneWayModel::I2)) => {
-            let report = thm32_attack(m, Optimist::new(Pairing), OptimistState::new, 64, 256)
-                .unwrap();
+            let report =
+                thm32_attack(m, Optimist::new(Pairing), OptimistState::new, 64, 256).unwrap();
             assert!(report.violated_safety());
             Cell::Impossible
         }
@@ -174,16 +173,46 @@ fn figure4_matrix_matches_the_paper() {
     // gap (T2 + omission knowledge) and cells the paper colours through
     // other columns.
     let expected: &[(Model, [Cell; 4])] = &[
-        (Model::TwoWay(ppfts::engine::TwoWayModel::Tw), [Possible, Possible, Possible, Possible]),
-        (Model::TwoWay(ppfts::engine::TwoWayModel::T1), [Impossible, OpenOrUntested, Impossible, Impossible]),
-        (Model::TwoWay(ppfts::engine::TwoWayModel::T2), [Impossible, OpenOrUntested, Impossible, Impossible]),
-        (Model::TwoWay(ppfts::engine::TwoWayModel::T3), [Impossible, OpenOrUntested, Impossible, Impossible]),
-        (Model::OneWay(OneWayModel::It), [OpenOrUntested, Possible, Possible, Possible]),
-        (Model::OneWay(OneWayModel::Io), [OpenOrUntested, OpenOrUntested, Possible, Possible]),
-        (Model::OneWay(OneWayModel::I1), [Impossible, Impossible, Impossible, Impossible]),
-        (Model::OneWay(OneWayModel::I2), [Impossible, Impossible, Impossible, Impossible]),
-        (Model::OneWay(OneWayModel::I3), [Impossible, Possible, Impossible, Impossible]),
-        (Model::OneWay(OneWayModel::I4), [Impossible, Possible, Impossible, Impossible]),
+        (
+            Model::TwoWay(ppfts::engine::TwoWayModel::Tw),
+            [Possible, Possible, Possible, Possible],
+        ),
+        (
+            Model::TwoWay(ppfts::engine::TwoWayModel::T1),
+            [Impossible, OpenOrUntested, Impossible, Impossible],
+        ),
+        (
+            Model::TwoWay(ppfts::engine::TwoWayModel::T2),
+            [Impossible, OpenOrUntested, Impossible, Impossible],
+        ),
+        (
+            Model::TwoWay(ppfts::engine::TwoWayModel::T3),
+            [Impossible, OpenOrUntested, Impossible, Impossible],
+        ),
+        (
+            Model::OneWay(OneWayModel::It),
+            [OpenOrUntested, Possible, Possible, Possible],
+        ),
+        (
+            Model::OneWay(OneWayModel::Io),
+            [OpenOrUntested, OpenOrUntested, Possible, Possible],
+        ),
+        (
+            Model::OneWay(OneWayModel::I1),
+            [Impossible, Impossible, Impossible, Impossible],
+        ),
+        (
+            Model::OneWay(OneWayModel::I2),
+            [Impossible, Impossible, Impossible, Impossible],
+        ),
+        (
+            Model::OneWay(OneWayModel::I3),
+            [Impossible, Possible, Impossible, Impossible],
+        ),
+        (
+            Model::OneWay(OneWayModel::I4),
+            [Impossible, Possible, Impossible, Impossible],
+        ),
     ];
 
     for (model, row) in expected {

@@ -4,9 +4,9 @@
 //! a concrete simulator and checks that the predicted failure — a Pairing
 //! safety violation, or a liveness collapse — actually materializes.
 
+use ppfts::core::project;
 use ppfts::core::{Skno, SknoState};
 use ppfts::engine::{AtMostOneStrategy, OneWayModel, OneWayRunner};
-use ppfts::core::project;
 use ppfts::protocols::{Pairing, PairingState};
 use ppfts::verify::{
     lemma1_attack, no1_resilience, thm32_attack, AttackOutcome, Optimist, OptimistState,
@@ -73,11 +73,17 @@ fn thm32_dichotomy_second_horn_resilient_optimist_is_unsafe() {
     for model in [OneWayModel::I1, OneWayModel::I2] {
         // Resilient…
         let failures = no1_resilience(model, &Optimist::new(Pairing), OptimistState::new, 8, 4_000);
-        assert!(failures.is_empty(), "{model}: Optimist must be NO1-resilient");
+        assert!(
+            failures.is_empty(),
+            "{model}: Optimist must be NO1-resilient"
+        );
         // …therefore breakable with zero omissions.
-        let report = thm32_attack(model, Optimist::new(Pairing), OptimistState::new, 64, 256)
-            .unwrap();
-        assert_eq!(report.omissions_in_run, 0, "{model}: Theorem 3.2 runs are omission-free");
+        let report =
+            thm32_attack(model, Optimist::new(Pairing), OptimistState::new, 64, 256).unwrap();
+        assert_eq!(
+            report.omissions_in_run, 0,
+            "{model}: Theorem 3.2 runs are omission-free"
+        );
         assert!(
             report.violated_safety(),
             "{model}: expected violation, got {:?}",
@@ -105,7 +111,10 @@ fn thm33_graceful_degradation_threshold_is_at_most_one() {
         let out = runner.run_until(100_000, |c| {
             project(c).count_state(&PairingState::Paired) == 1
         });
-        assert!(out.is_satisfied(), "SKnO(1) tolerates one omission at {omitted_step}");
+        assert!(
+            out.is_satisfied(),
+            "SKnO(1) tolerates one omission at {omitted_step}"
+        );
     }
     // …and Lemma 1 shows the second half is unattainable: with more
     // omissions it does not stop in a consistent state, it breaks safety.
@@ -122,10 +131,22 @@ fn thm33_graceful_degradation_threshold_is_at_most_one() {
 
 #[test]
 fn attacks_are_deterministic() {
-    let a = lemma1_attack(OneWayModel::I3, Skno::new(Pairing, 1), SknoState::new, 128, 512)
-        .unwrap();
-    let b = lemma1_attack(OneWayModel::I3, Skno::new(Pairing, 1), SknoState::new, 128, 512)
-        .unwrap();
+    let a = lemma1_attack(
+        OneWayModel::I3,
+        Skno::new(Pairing, 1),
+        SknoState::new,
+        128,
+        512,
+    )
+    .unwrap();
+    let b = lemma1_attack(
+        OneWayModel::I3,
+        Skno::new(Pairing, 1),
+        SknoState::new,
+        128,
+        512,
+    )
+    .unwrap();
     assert_eq!(a, b, "the construction is schedule-exact, not sampled");
 }
 

@@ -24,8 +24,7 @@ fn sid_matchings_are_exact_and_replayable() {
         runner.run(40_000).unwrap();
         let events = extract_events(&runner.take_trace().unwrap());
         let matching = build_matching(&Pairing, &events).unwrap();
-        let derived =
-            verify_derived_execution(&Pairing, &initial, &events, &matching).unwrap();
+        let derived = verify_derived_execution(&Pairing, &initial, &events, &matching).unwrap();
         assert_eq!(derived.len(), matching.len(), "seed {seed}");
         // SID events carry exact ids, so every pair is reciprocal.
         for &(si, ri) in &matching.pairs {
@@ -53,8 +52,7 @@ fn skno_matchings_validate_at_the_multiset_level() {
         runner.run(60_000).unwrap();
         let events = extract_events(&runner.take_trace().unwrap());
         let matching = build_matching(&Pairing, &events).unwrap();
-        let derived =
-            verify_derived_execution(&Pairing, &initial, &events, &matching).unwrap();
+        let derived = verify_derived_execution(&Pairing, &initial, &events, &matching).unwrap();
         assert_eq!(derived.len(), matching.len(), "seed {seed}");
         // Anonymous events never carry ids.
         assert!(events.iter().all(|e| e.partner_id.is_none()));

@@ -117,14 +117,11 @@ fn skno_simulates_flock_threshold_in_it_corollary_1() {
 #[test]
 fn named_sid_simulates_epidemic_with_knowledge_of_n() {
     let inputs = vec![false, false, true, false, false, false];
-    let mut runner = OneWayRunner::builder(
-        OneWayModel::Io,
-        NamedSid::new(Epidemic, inputs.len()),
-    )
-    .config(NamedSid::<Epidemic>::initial(&inputs))
-    .seed(31)
-    .build()
-    .unwrap();
+    let mut runner = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(Epidemic, inputs.len()))
+        .config(NamedSid::<Epidemic>::initial(&inputs))
+        .seed(31)
+        .build()
+        .unwrap();
     assert_simulates!(Epidemic, &inputs, runner, 5_000_000);
 }
 
