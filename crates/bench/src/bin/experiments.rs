@@ -1,6 +1,11 @@
 //! Runs the full experiment suite (DESIGN.md E1–E10) and prints the
 //! paper-claim-vs-measured tables recorded in EXPERIMENTS.md.
 //!
+//! Convergence measurements (E5, E7, E8) run on the engine's batched
+//! `StatsOnly` path with their predicates wrapped in the `stably`
+//! combinator (see `ppfts_bench`), so the tables no longer stop on
+//! transient mid-handshake projections and step counts are batch aligned.
+//!
 //! Run with: `cargo run --release -p ppfts-bench --bin experiments`
 
 use ppfts_bench::{

@@ -9,11 +9,16 @@
 //! Run with: `cargo run --release -p ppfts-bench --bin figure4`
 
 use ppfts_core::{NamedSid, Sid, Skno, SknoState};
-use ppfts_engine::{BoundedStrategy, Model, OneWayModel, OneWayRunner, TwoWayModel};
+use ppfts_engine::{BoundedStrategy, Model, OneWayModel, OneWayRunner, StatsOnly, TwoWayModel};
 use ppfts_protocols::{Pairing, PairingState};
 use ppfts_verify::{
-    audit_pairing, lemma1_attack, no1_resilience, thm32_attack, Optimist, OptimistState,
+    audit_pairing_batched, lemma1_attack, no1_resilience, thm32_attack, Optimist, OptimistState,
 };
+
+/// Batch size of the possibility witnesses' audits: Pairing violations
+/// are sticky (`cs` is irrevocable), so auditing at this stride on the
+/// `StatsOnly` path loses nothing the green cells depend on.
+const AUDIT_BATCH: u64 = 128;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Cell {
@@ -40,9 +45,10 @@ fn witness_possible_sid(m: OneWayModel) -> Cell {
     let mut runner = OneWayRunner::builder(m, Sid::new(Pairing))
         .config(Sid::<Pairing>::initial(&pairing_sims(4)))
         .seed(1)
+        .trace_sink(StatsOnly)
         .build()
         .unwrap();
-    let report = audit_pairing(&mut runner, 1_500_000);
+    let report = audit_pairing_batched(&mut runner, 1_500_000, AUDIT_BATCH);
     assert!(
         report.solved(),
         "{m}: SID audit failed: {:?}",
@@ -56,9 +62,10 @@ fn witness_possible_skno(m: OneWayModel, o: u32) -> Cell {
         .config(Skno::<Pairing>::initial(&pairing_sims(4)))
         .adversary(BoundedStrategy::new(0.02, o as u64))
         .seed(2)
+        .trace_sink(StatsOnly)
         .build()
         .unwrap();
-    let report = audit_pairing(&mut runner, 1_500_000);
+    let report = audit_pairing_batched(&mut runner, 1_500_000, AUDIT_BATCH);
     assert!(
         report.solved(),
         "{m}: SKnO audit failed: {:?}",
@@ -72,9 +79,10 @@ fn witness_possible_named(m: OneWayModel) -> Cell {
     let mut runner = OneWayRunner::builder(m, NamedSid::new(Pairing, n))
         .config(NamedSid::<Pairing>::initial(&pairing_sims(n)))
         .seed(3)
+        .trace_sink(StatsOnly)
         .build()
         .unwrap();
-    let report = audit_pairing(&mut runner, 4_000_000);
+    let report = audit_pairing_batched(&mut runner, 4_000_000, AUDIT_BATCH);
     assert!(
         report.solved(),
         "{m}: NamedSid audit failed: {:?}",

@@ -85,16 +85,43 @@ enum RunKey<Q> {
     Change(Q, Q),
 }
 
-impl<Q: Clone> Token<Q> {
-    fn key(&self) -> Option<(RunKey<Q>, u32)> {
+impl<Q> Token<Q> {
+    /// Borrowed run key: lets the per-step queue scans compare keys
+    /// without cloning simulated states.
+    fn key_ref(&self) -> Option<(RunKeyRef<'_, Q>, u32)> {
         match self {
-            Token::Run { state, index } => Some((RunKey::Plain(state.clone()), *index)),
+            Token::Run { state, index } => Some((RunKeyRef::Plain(state), *index)),
             Token::Change {
                 starter,
                 reactor,
                 index,
-            } => Some((RunKey::Change(starter.clone(), reactor.clone()), *index)),
+            } => Some((RunKeyRef::Change(starter, reactor), *index)),
             Token::Joker => None,
+        }
+    }
+}
+
+/// Borrowed form of [`RunKey`], used during queue scans.
+#[derive(Debug, PartialEq, Eq)]
+enum RunKeyRef<'a, Q> {
+    Plain(&'a Q),
+    Change(&'a Q, &'a Q),
+}
+
+// Manual impls: the references are always Copy, whatever `Q` is.
+impl<Q> Clone for RunKeyRef<'_, Q> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<Q> Copy for RunKeyRef<'_, Q> {}
+
+impl<Q: Clone> RunKeyRef<'_, Q> {
+    fn to_owned(self) -> RunKey<Q> {
+        match self {
+            RunKeyRef::Plain(q) => RunKey::Plain(q.clone()),
+            RunKeyRef::Change(s, r) => RunKey::Change(s.clone(), r.clone()),
         }
     }
 }
@@ -102,18 +129,23 @@ impl<Q: Clone> Token<Q> {
 /// A run-completion plan: queue positions to consume, plus the token
 /// identities any jokers stand in for.
 type RunPlan<Q> = (Vec<usize>, Vec<Token<Q>>);
-/// A completable run candidate: jokers used, its key, and the plan.
-type RunCandidate<Q> = (usize, RunKey<Q>, RunPlan<Q>);
+/// A completable run candidate: jokers used, its (borrowed) key, and the
+/// plan.
+type RunCandidate<'a, Q> = (usize, RunKeyRef<'a, Q>, RunPlan<Q>);
+/// A planned completion: the owned winning key and its plan.
+type PlannedRun<Q> = (RunKey<Q>, RunPlan<Q>);
+/// One census entry of `plan_best`: key, distinct-index mask, count.
+type KeyTally<'a, Q> = (RunKeyRef<'a, Q>, u128, u32);
 
-fn token_of<Q: Clone>(key: &RunKey<Q>, index: u32) -> Token<Q> {
+fn token_of<Q: Clone>(key: &RunKeyRef<'_, Q>, index: u32) -> Token<Q> {
     match key {
-        RunKey::Plain(q) => Token::Run {
-            state: q.clone(),
+        RunKeyRef::Plain(q) => Token::Run {
+            state: (*q).clone(),
             index,
         },
-        RunKey::Change(s, r) => Token::Change {
-            starter: s.clone(),
-            reactor: r.clone(),
+        RunKeyRef::Change(s, r) => Token::Change {
+            starter: (*s).clone(),
+            reactor: (*r).clone(),
             index,
         },
     }
@@ -333,43 +365,74 @@ impl<P: TwoWayProtocol> Skno<P> {
         r.sending.push_back(token);
     }
 
-    /// Searches `r`'s queue for a completable run with the given key:
+    /// Searches the queue for a completable run with the given key:
     /// all indices `1..=o+1` present, jokers covering the missing ones.
     /// Returns the queue positions to consume (real tokens then jokers)
     /// and the identities the jokers stand in for.
+    ///
+    /// Two-pass on purpose: the first pass decides *whether* the run
+    /// completes without allocating (keys are compared by reference, the
+    /// found-index set lives in a bitmask for any realistic `o`), and
+    /// only a completing run — roughly once per simulated interaction,
+    /// against queue scans every step — pays for building the plan.
     fn find_run(
         &self,
-        r: &SknoState<P::State>,
-        key: &RunKey<P::State>,
+        queue: &VecDeque<Token<P::State>>,
+        key: &RunKeyRef<'_, P::State>,
     ) -> Option<RunPlan<P::State>> {
         let len = self.run_len();
-        let mut positions: Vec<Option<usize>> = vec![None; len as usize];
         let mut found = 0u32;
-        for (pos, t) in r.sending.iter().enumerate() {
-            if let Some((k, i)) = t.key() {
-                if k == *key && positions[(i - 1) as usize].is_none() {
-                    positions[(i - 1) as usize] = Some(pos);
-                    found += 1;
+        let mut jokers_available = 0usize;
+        let mut mask = 0u128;
+        let mut big_mask: Vec<bool> = if len > 128 {
+            vec![false; len as usize]
+        } else {
+            Vec::new()
+        };
+        for t in queue {
+            match t.key_ref() {
+                None => jokers_available += 1,
+                Some((k, i)) if k == *key => {
+                    let idx = (i - 1) as usize;
+                    let seen = if len > 128 {
+                        std::mem::replace(&mut big_mask[idx], true)
+                    } else {
+                        let was = mask >> idx & 1 == 1;
+                        mask |= 1 << idx;
+                        was
+                    };
+                    if !seen {
+                        found += 1;
+                    }
                 }
+                Some(_) => {}
             }
         }
         if found == 0 {
             return None; // a run must contain at least one real token
         }
+        if jokers_available < (len - found) as usize {
+            return None;
+        }
+        // The run completes: rebuild the exact plan of the allocating scan.
+        let mut positions: Vec<Option<usize>> = vec![None; len as usize];
+        for (pos, t) in queue.iter().enumerate() {
+            if let Some((k, i)) = t.key_ref() {
+                if k == *key && positions[(i - 1) as usize].is_none() {
+                    positions[(i - 1) as usize] = Some(pos);
+                }
+            }
+        }
         let missing: Vec<u32> = (1..=len)
             .filter(|i| positions[(i - 1) as usize].is_none())
             .collect();
-        let jokers: Vec<usize> = r
-            .sending
+        let jokers: Vec<usize> = queue
             .iter()
             .enumerate()
             .filter(|(_, t)| t.is_joker())
             .map(|(pos, _)| pos)
             .take(missing.len())
             .collect();
-        if jokers.len() < missing.len() {
-            return None;
-        }
         let mut consume: Vec<usize> = positions.into_iter().flatten().collect();
         consume.extend(&jokers);
         let owed_new: Vec<Token<P::State>> = missing.iter().map(|&i| token_of(key, i)).collect();
@@ -391,65 +454,122 @@ impl<P: TwoWayProtocol> Skno<P> {
         r.owed.extend(owed_new);
     }
 
-    /// The distinct run keys present in the queue, in first-occurrence
-    /// order, restricted by `filter`.
-    fn keys_in_queue(
+    /// Plans the best completable run among the queue's distinct keys
+    /// passing `filter` (fewest jokers used, then earliest first
+    /// occurrence). Pure with respect to the queue: the caller consumes.
+    ///
+    /// One census scan tallies every key's distinct-index count (a
+    /// bitmask for any realistic `o`) and the joker supply, so picking
+    /// the winner — fewest jokers used is most distinct indices found —
+    /// needs no per-key rescan; only the winner pays
+    /// [`find_run`](Self::find_run)'s plan-building pass.
+    fn plan_best(
         &self,
-        r: &SknoState<P::State>,
-        mut filter: impl FnMut(&RunKey<P::State>) -> bool,
-    ) -> Vec<RunKey<P::State>> {
-        let mut keys: Vec<RunKey<P::State>> = Vec::new();
-        for t in &r.sending {
-            if let Some((k, _)) = t.key() {
-                if filter(&k) && !keys.contains(&k) {
-                    keys.push(k);
+        queue: &VecDeque<Token<P::State>>,
+        mut filter: impl FnMut(&RunKeyRef<'_, P::State>) -> bool,
+    ) -> Option<PlannedRun<P::State>> {
+        let len = self.run_len();
+        let use_mask = len <= 128;
+        // Census in first-occurrence order: (key, distinct-index mask,
+        // distinct-index count). A fixed block of stack slots keeps the
+        // no-completion common case allocation-free; queues with more
+        // distinct keys spill to the heap.
+        const SLOTS: usize = 8;
+        let mut slots: [Option<KeyTally<'_, P::State>>; SLOTS] = [None; SLOTS];
+        let mut filled = 0usize;
+        let mut spill: Vec<KeyTally<'_, P::State>> = Vec::new();
+        let mut jokers_available = 0usize;
+        for t in queue {
+            match t.key_ref() {
+                None => jokers_available += 1,
+                Some((key, i)) if filter(&key) => {
+                    let entry = match slots[..filled]
+                        .iter_mut()
+                        .map(|s| s.as_mut().expect("filled slot"))
+                        .chain(spill.iter_mut())
+                        .find(|(k, ..)| *k == key)
+                    {
+                        Some(entry) => entry,
+                        None if filled < SLOTS => {
+                            slots[filled] = Some((key, 0, 0));
+                            filled += 1;
+                            slots[filled - 1].as_mut().expect("just filled")
+                        }
+                        None => {
+                            spill.push((key, 0, 0));
+                            spill.last_mut().expect("just pushed")
+                        }
+                    };
+                    if use_mask {
+                        let bit = 1u128 << ((i - 1) as usize);
+                        if entry.1 & bit == 0 {
+                            entry.1 |= bit;
+                            entry.2 += 1;
+                        }
+                    }
                 }
+                Some(_) => {}
             }
         }
-        keys
-    }
-
-    /// Completes the best available run among `keys` (fewest jokers used,
-    /// then earliest first occurrence) and returns its key.
-    fn complete_best(
-        &self,
-        r: &mut SknoState<P::State>,
-        keys: Vec<RunKey<P::State>>,
-    ) -> Option<RunKey<P::State>> {
-        let mut best: Option<RunCandidate<P::State>> = None;
-        for key in keys {
-            if let Some((positions, owed_new)) = self.find_run(r, &key) {
-                let jokers_used = owed_new.len();
-                let better = match &best {
-                    None => true,
-                    Some((best_jokers, ..)) => jokers_used < *best_jokers,
-                };
-                if better {
-                    best = Some((jokers_used, key, (positions, owed_new)));
+        let tally = slots
+            .into_iter()
+            .take(filled)
+            .map(|s| s.expect("filled slot"))
+            .chain(spill);
+        let best = if use_mask {
+            // Fewest jokers used = most distinct indices found; ties go
+            // to the earliest first occurrence (stable max over `>`).
+            let (key, _, found) = tally
+                .filter(|(_, _, found)| *found > 0 && jokers_available >= (len - found) as usize)
+                .reduce(|best, cand| if cand.2 > best.2 { cand } else { best })?;
+            let plan = self
+                .find_run(queue, &key)
+                .expect("census certified completability");
+            debug_assert_eq!(plan.1.len(), (len - found) as usize);
+            Some((key, plan))
+        } else {
+            // Astronomically large `o`: fall back to probing each key.
+            let mut best: Option<RunCandidate<'_, P::State>> = None;
+            for (key, ..) in tally {
+                if let Some((positions, owed_new)) = self.find_run(queue, &key) {
+                    let jokers_used = owed_new.len();
+                    let better = match &best {
+                        None => true,
+                        Some((best_jokers, ..)) => jokers_used < *best_jokers,
+                    };
+                    if better {
+                        best = Some((jokers_used, key, (positions, owed_new)));
+                    }
                 }
             }
-        }
-        let (_, key, (positions, owed_new)) = best?;
-        self.consume(r, positions, owed_new);
-        Some(key)
+            best.map(|(_, key, plan)| (key, plan))
+        };
+        let (key, plan) = best?;
+        Some((key.to_owned(), plan))
     }
 
-    /// The preliminary and core checks of the reactor procedure.
-    fn checks(&self, r: &mut SknoState<P::State>) {
+    /// The preliminary and core checks of the reactor procedure. Returns
+    /// whether anything was consumed or completed — every action removes
+    /// queue tokens, so `true` implies the state changed.
+    fn checks(&self, r: &mut SknoState<P::State>) -> bool {
+        let mut acted = false;
         // Preliminary: a pending agent that re-assembles the announcement
         // of its *own* state cancels the transaction.
         if r.pending {
-            let own = RunKey::Plain(r.sim.clone());
-            if let Some((positions, owed_new)) = self.find_run(r, &own) {
+            if let Some((positions, owed_new)) =
+                self.find_run(&r.sending, &RunKeyRef::Plain(&r.sim))
+            {
                 self.consume(r, positions, owed_new);
                 r.pending = false;
+                acted = true;
             }
         }
         if !r.pending {
             // Core, available branch: consume any plain run and play the
             // simulated reactor.
-            let keys = self.keys_in_queue(r, |k| matches!(k, RunKey::Plain(_)));
-            if let Some(RunKey::Plain(q)) = self.complete_best(r, keys) {
+            let plan = self.plan_best(&r.sending, |k| matches!(k, RunKeyRef::Plain(_)));
+            if let Some((RunKey::Plain(q), (positions, owed_new))) = plan {
+                self.consume(r, positions, owed_new);
                 let old = r.sim.clone();
                 r.sim = self.protocol.reactor_out(&q, &old);
                 for i in 1..=self.run_len() {
@@ -466,13 +586,20 @@ impl<P: TwoWayProtocol> Skno<P> {
                     seq: r.commits,
                 });
                 r.commits += 1;
+                acted = true;
             }
         } else {
             // Core, pending branch: consume a state-change run announced
             // for our own state and play the simulated starter.
-            let own = r.sim.clone();
-            let keys = self.keys_in_queue(r, |k| matches!(k, RunKey::Change(s, _) if *s == own));
-            if let Some(RunKey::Change(_, q_r)) = self.complete_best(r, keys) {
+            let plan = {
+                let own = &r.sim;
+                self.plan_best(
+                    &r.sending,
+                    |k| matches!(k, RunKeyRef::Change(s, _) if *s == own),
+                )
+            };
+            if let Some((RunKey::Change(_, q_r), (positions, owed_new))) = plan {
+                self.consume(r, positions, owed_new);
                 let old = r.sim.clone();
                 r.sim = self.protocol.starter_out(&old, &q_r);
                 r.pending = false;
@@ -483,8 +610,10 @@ impl<P: TwoWayProtocol> Skno<P> {
                     seq: r.commits,
                 });
                 r.commits += 1;
+                acted = true;
             }
         }
+        acted
     }
 }
 
@@ -494,8 +623,26 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
     /// `g`: the starter fills its announcement if due and transmits (pops)
     /// its head token.
     fn on_proximity(&self, s: &Self::State) -> Self::State {
+        if !s.pending && s.sending.is_empty() {
+            // Fill-then-pop, built directly: the head ⟨sim, 1⟩ is the one
+            // transmitted, so the new queue is ⟨sim, 2⟩ … ⟨sim, o+1⟩.
+            let mut sending = VecDeque::with_capacity(self.bound as usize);
+            for i in 2..=self.run_len() {
+                sending.push_back(Token::Run {
+                    state: s.sim.clone(),
+                    index: i,
+                });
+            }
+            return SknoState {
+                sim: s.sim.clone(),
+                pending: true,
+                sending,
+                owed: s.owed.clone(),
+                commit: s.commit.clone(),
+                commits: s.commits,
+            };
+        }
         let mut s2 = s.clone();
-        self.fill(&mut s2);
         s2.sending.pop_front();
         s2
     }
@@ -530,6 +677,58 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
         r2.sending.push_back(Token::Joker);
         self.checks(&mut r2);
         r2
+    }
+
+    // In-place overrides: the hot path of the E5-scale measurements.
+    // Token queues mutate in their own buffers — steady-state execution
+    // allocates nothing — and `changed` is derived from what actually
+    // happened, which is exact because every action below touches the
+    // behavioral fields (never only the ghost commit log).
+
+    /// In-place `g`: changed unless a pending agent's queue is drained
+    /// (then there is nothing to pop and nothing to fill).
+    fn on_proximity_in_place(&self, s: &mut Self::State) -> bool {
+        if !s.pending && s.sending.is_empty() {
+            // Fill-then-pop: the head ⟨sim, 1⟩ is transmitted, leaving
+            // ⟨sim, 2⟩ … ⟨sim, o+1⟩ queued.
+            s.pending = true;
+            for i in 2..=self.run_len() {
+                let token = Token::Run {
+                    state: s.sim.clone(),
+                    index: i,
+                };
+                s.sending.push_back(token);
+            }
+            return true;
+        }
+        s.sending.pop_front().is_some()
+    }
+
+    /// In-place `f`: a delivered token always changes the queue; without
+    /// one (drained pending starter), only a check action changes state.
+    fn on_receive_in_place(&self, s: &Self::State, r: &mut Self::State) -> bool {
+        let mut changed = false;
+        if let Some(token) = self.outgoing(s) {
+            self.enqueue(r, token);
+            changed = true;
+        }
+        let acted = self.checks(r);
+        changed || acted
+    }
+
+    /// In-place `o`: filling (if due) and the minted joker always grow
+    /// the queue.
+    fn on_omission_starter_in_place(&self, s: &mut Self::State) -> bool {
+        self.fill(s);
+        s.sending.push_back(Token::Joker);
+        true
+    }
+
+    /// In-place `h`: the minted joker always grows the queue.
+    fn on_omission_reactor_in_place(&self, r: &mut Self::State) -> bool {
+        r.sending.push_back(Token::Joker);
+        self.checks(r);
+        true
     }
 }
 

@@ -5,7 +5,8 @@
 //! **silent**), or at least the output stops changing. This module offers
 //! the exact, protocol-level silence checks that complement the runners'
 //! observational [`run_until_stable`](crate::OneWayRunner::run_until_stable)
-//! heuristic.
+//! heuristic, plus the [`stably`] predicate combinator that makes
+//! sampled convergence checks quiescence-aware.
 
 use ppfts_population::{Configuration, Multiset, State};
 
@@ -94,6 +95,60 @@ fn silent_over_pairs<Q: State>(
 /// analysis of custom tooling.
 pub fn permitted_two_way_faults(model: TwoWayModel) -> &'static [TwoWayFault] {
     model.permitted_faults()
+}
+
+/// Wraps a configuration predicate so it only reports `true` after
+/// holding at `window` *consecutive* checks — the quiescence-aware
+/// convergence combinator.
+///
+/// A raw predicate like `|c| paired(c) == k` can be satisfied by a
+/// configuration sampled *mid-handshake*: the projected count momentarily
+/// reads `k` while a counterpart agent is still inside a simulated
+/// interaction, so stopping there hands back a non-quiescent state
+/// (the `run_until` sampling hazard the ROADMAP records). Requiring the
+/// predicate to survive a window of consecutive samples filters those
+/// transients out: with [`run_until`](crate::OneWayRunner::run_until) the
+/// window is counted in steps, with
+/// [`run_batched_until`](crate::OneWayRunner::run_batched_until) in batch
+/// boundaries (i.e. `window × batch` engine steps).
+///
+/// `window` of 1 is the raw predicate; a `window` of 0 is rejected.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::convergence::stably;
+/// use ppfts_population::Configuration;
+///
+/// let mut pred = stably(|c: &Configuration<u8>| c.count_state(&1) == 2, 2);
+/// let target = Configuration::new(vec![1, 1]);
+/// assert!(!pred(&target)); // first hit: not yet stable
+/// assert!(pred(&target));  // second consecutive hit: stable
+///
+/// let mut pred = stably(|c: &Configuration<u8>| c.count_state(&1) == 2, 2);
+/// assert!(!pred(&target));
+/// assert!(!pred(&Configuration::new(vec![1, 0]))); // transient dip resets
+/// assert!(!pred(&target));
+/// assert!(pred(&target));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn stably<Q: State>(
+    mut predicate: impl FnMut(&Configuration<Q>) -> bool,
+    window: u64,
+) -> impl FnMut(&Configuration<Q>) -> bool {
+    assert!(window > 0, "stability window must be positive");
+    let mut streak = 0u64;
+    move |config| {
+        if predicate(config) {
+            streak += 1;
+        } else {
+            streak = 0;
+        }
+        streak >= window
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +246,53 @@ mod tests {
         let c = Configuration::new(vec![0u8, 0]);
         assert!(silent_two_way(TwoWayModel::Tw, &Detect, &c));
         assert!(!silent_two_way(TwoWayModel::T3, &Detect, &c));
+    }
+
+    #[test]
+    fn stably_requires_a_consecutive_streak() {
+        let hot = Configuration::new(vec![true, true]);
+        let cold = Configuration::new(vec![true, false]);
+        let mut pred = stably(|c: &Configuration<bool>| c.count_state(&true) == 2, 3);
+        assert!(!pred(&hot));
+        assert!(!pred(&hot));
+        assert!(pred(&hot), "third consecutive success fires");
+        assert!(pred(&hot), "and stays fired while the predicate holds");
+        assert!(!pred(&cold), "a miss resets the streak");
+        assert!(!pred(&hot));
+        assert!(!pred(&hot));
+        assert!(pred(&hot));
+    }
+
+    #[test]
+    #[should_panic(expected = "stability window")]
+    fn stably_rejects_zero_window() {
+        let _ = stably(|_: &Configuration<bool>| true, 0)(&Configuration::uniform(true, 2));
+    }
+
+    #[test]
+    fn stably_filters_batched_transients() {
+        // An epidemic under run_batched_until with stably(…, 2): the
+        // outcome steps land on a batch boundary and the predicate held at
+        // two consecutive boundaries.
+        use crate::{OneWayModel, OneWayProgram, OneWayRunner, StatsOnly};
+        struct Or;
+        impl OneWayProgram for Or {
+            type State = bool;
+            fn on_receive(&self, s: &bool, r: &bool) -> bool {
+                *s || *r
+            }
+        }
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Or)
+            .config(Configuration::new(vec![true, false, false, false]))
+            .seed(6)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let everyone = |c: &Configuration<bool>| c.as_slice().iter().all(|b| *b);
+        let out = runner.run_batched_until(100_000, 32, stably(everyone, 2));
+        assert!(out.is_satisfied());
+        assert!(out.steps().is_multiple_of(32));
+        assert!(out.steps() >= 64, "needs two boundary confirmations");
     }
 
     #[test]

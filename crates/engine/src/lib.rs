@@ -23,8 +23,13 @@
 //! * [`Scheduler`] and implementations — uniform-random (globally fair with
 //!   probability 1), round-robin fair, and scripted schedulers,
 //! * [`OneWayRunner`], [`TwoWayRunner`] — deterministic, seedable execution
-//!   drivers with traces, planned-prefix execution (used by the paper's
-//!   adversarial constructions) and convergence helpers,
+//!   drivers with pluggable [`TraceSink`]s, scalar and batched stepping
+//!   (seed-equivalent; see `run_batched`), planned-prefix execution (used
+//!   by the paper's adversarial constructions) and convergence helpers,
+//! * [`TraceSink`] with [`FullTrace`], [`SampledTrace`], [`StatsOnly`] —
+//!   what, if anything, each executed step leaves behind,
+//! * [`convergence`] — exact silence checks and the quiescence-aware
+//!   [`stably`](convergence::stably) predicate combinator,
 //! * [`hierarchy`] — the inclusion arrows of Figure 1 as a queryable
 //!   relation.
 //!
@@ -66,6 +71,7 @@ pub mod outcome;
 mod program;
 mod runner;
 mod scheduler;
+mod sink;
 mod stats;
 mod trace;
 
@@ -82,5 +88,6 @@ pub use runner::{
     OneWayRunner, OneWayRunnerBuilder, Planned, RunOutcome, TwoWayRunner, TwoWayRunnerBuilder,
 };
 pub use scheduler::{RoundRobinScheduler, Scheduler, ScriptedScheduler, UniformScheduler};
+pub use sink::{FullTrace, SampledTrace, StatsOnly, TraceSink};
 pub use stats::RunStats;
 pub use trace::{StepRecord, Trace};

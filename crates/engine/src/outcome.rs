@@ -161,6 +161,85 @@ pub fn one_way<P: OneWayProgram>(
     }
 }
 
+/// In-place form of [`one_way`]: applies the outcome directly to the
+/// endpoint states and reports `(starter_changed, reactor_changed)`.
+///
+/// Exactly equivalent to [`one_way`] followed by a compare-and-store of
+/// both endpoints — the runners' record-free fast path uses it to skip
+/// the two per-step state constructions for programs that override the
+/// `*_in_place` hooks of [`OneWayProgram`].
+///
+/// # Errors
+///
+/// Same conditions as [`one_way`]; on error nothing is mutated.
+pub fn one_way_in_place<P: OneWayProgram>(
+    model: OneWayModel,
+    program: &P,
+    s: &mut P::State,
+    r: &mut P::State,
+    fault: OneWayFault,
+) -> Result<(bool, bool), EngineError> {
+    match fault {
+        OneWayFault::None => {
+            // The reactor reads the starter's pre-interaction state, so
+            // it must update before the starter mutates.
+            let r_changed = program.on_receive_in_place(s, r);
+            let s_changed = if model.starter_applies_g() {
+                program.on_proximity_in_place(s)
+            } else {
+                false
+            };
+            Ok((s_changed, r_changed))
+        }
+        OneWayFault::Omission => {
+            let reactor_hook = reactor_hook_on_omission(model);
+            if reactor_hook == ReactorOmissionHook::Forbidden {
+                return Err(EngineError::FaultNotInRelation {
+                    model: crate::Model::OneWay(model),
+                    fault: fault.to_string(),
+                });
+            }
+            let s_changed = if model.starter_detects_omission() {
+                program.on_omission_starter_in_place(s)
+            } else {
+                program.on_proximity_in_place(s)
+            };
+            let r_changed = match reactor_hook {
+                ReactorOmissionHook::Identity => false,
+                ReactorOmissionHook::Proximity => program.on_proximity_in_place(r),
+                ReactorOmissionHook::Detection => program.on_omission_reactor_in_place(r),
+                ReactorOmissionHook::Forbidden => unreachable!("handled above"),
+            };
+            Ok((s_changed, r_changed))
+        }
+    }
+}
+
+/// In-place form of [`two_way`]: both updates read both pre-interaction
+/// states, so the outcome pair is computed first and compare-and-stored.
+///
+/// # Errors
+///
+/// Same conditions as [`two_way`]; on error nothing is mutated.
+pub fn two_way_in_place<P: TwoWayProgram>(
+    model: TwoWayModel,
+    program: &P,
+    s: &mut P::State,
+    r: &mut P::State,
+    fault: TwoWayFault,
+) -> Result<(bool, bool), EngineError> {
+    let (s2, r2) = two_way(model, program, s, r, fault)?;
+    let s_changed = s2 != *s;
+    let r_changed = r2 != *r;
+    if s_changed {
+        *s = s2;
+    }
+    if r_changed {
+        *r = r2;
+    }
+    Ok((s_changed, r_changed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

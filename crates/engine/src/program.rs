@@ -134,6 +134,55 @@ pub trait OneWayProgram {
     fn on_omission_reactor(&self, r: &Self::State) -> Self::State {
         r.clone()
     }
+
+    // In-place forms, used by the runners' record-free fast path. Each
+    // mutates the state directly and reports whether it changed; the
+    // contract is exact equivalence with its pure form:
+    // `hook_in_place(q)` must leave `q == hook(&old_q)` and return
+    // `q != old_q` under the state's `PartialEq`. The defaults delegate
+    // to the pure hooks, so only programs with allocation-heavy states
+    // (e.g. `SKnO`'s token queues) need to override them.
+
+    /// In-place [`on_proximity`](Self::on_proximity).
+    fn on_proximity_in_place(&self, q: &mut Self::State) -> bool {
+        let next = self.on_proximity(q);
+        let changed = next != *q;
+        if changed {
+            *q = next;
+        }
+        changed
+    }
+
+    /// In-place [`on_receive`](Self::on_receive) (the starter is read
+    /// only, exactly like the pure form).
+    fn on_receive_in_place(&self, s: &Self::State, r: &mut Self::State) -> bool {
+        let next = self.on_receive(s, r);
+        let changed = next != *r;
+        if changed {
+            *r = next;
+        }
+        changed
+    }
+
+    /// In-place [`on_omission_starter`](Self::on_omission_starter).
+    fn on_omission_starter_in_place(&self, s: &mut Self::State) -> bool {
+        let next = self.on_omission_starter(s);
+        let changed = next != *s;
+        if changed {
+            *s = next;
+        }
+        changed
+    }
+
+    /// In-place [`on_omission_reactor`](Self::on_omission_reactor).
+    fn on_omission_reactor_in_place(&self, r: &mut Self::State) -> bool {
+        let next = self.on_omission_reactor(r);
+        let changed = next != *r;
+        if changed {
+            *r = next;
+        }
+        changed
+    }
 }
 
 /// Checks that a program is a valid **IO** program on the sampled states:

@@ -1,9 +1,10 @@
 //! Execution drivers.
 //!
-//! A runner owns a configuration, a [`Scheduler`], an [`OmissionStrategy`]
-//! and a seeded RNG, and drives a program under a fixed interaction model.
-//! Runs are fully deterministic given the seed, which is what makes the
-//! experiment harnesses and the adversarial constructions reproducible.
+//! A runner owns a configuration, a [`Scheduler`], an [`OmissionStrategy`],
+//! a [`TraceSink`] and a seeded RNG, and drives a program under a fixed
+//! interaction model. Runs are fully deterministic given the seed, which is
+//! what makes the experiment harnesses and the adversarial constructions
+//! reproducible.
 //!
 //! Both families share the same surface:
 //!
@@ -11,8 +12,17 @@
 //!   full [`StepRecord`];
 //! * [`run`](OneWayRunner::run) — execute a step budget without building
 //!   records;
-//! * [`run_until`](OneWayRunner::run_until) — run until a configuration
-//!   predicate holds or the budget is exhausted;
+//! * [`run_batched`](OneWayRunner::run_batched) — the same step budget,
+//!   drawn batch-wise and applied through the in-place fast path;
+//!   bit-identical to [`run`](OneWayRunner::run) for the same seed, but
+//!   with per-step record construction and state cloning elided when the
+//!   sink is passive;
+//! * [`run_until`](OneWayRunner::run_until) /
+//!   [`run_batched_until`](OneWayRunner::run_batched_until) — run until a
+//!   configuration predicate holds (checked per step, resp. per batch
+//!   boundary) or the budget is exhausted. Batch-boundary predicates
+//!   compose with [`stably`](crate::convergence::stably) to avoid
+//!   terminating on transient mid-handshake projections;
 //! * [`apply_planned`](OneWayRunner::apply_planned) — execute an exact
 //!   sequence of (interaction, fault) pairs, bypassing scheduler and
 //!   adversary. This is how the impossibility constructions of the paper
@@ -23,9 +33,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::{
-    outcome, EngineError, NoOmissions, OmissionStrategy, OneWayFault, OneWayModel, OneWayProgram,
-    RunStats, Scheduler, SidePolicy, StepRecord, Trace, TwoWayFault, TwoWayModel, TwoWayProgram,
-    UniformScheduler,
+    outcome, EngineError, FullTrace, NoOmissions, OmissionStrategy, OneWayFault, OneWayModel,
+    OneWayProgram, RunStats, Scheduler, SidePolicy, StepRecord, Trace, TraceSink, TwoWayFault,
+    TwoWayModel, TwoWayProgram, UniformScheduler,
 };
 
 /// One pre-planned step: an interaction and its fault decoration.
@@ -115,11 +125,17 @@ macro_rules! runner_impl {
         model: $Model:ty,
         fault: $Fault:ty,
         program: $Program:ident,
-        compute: |$self_:ident, $i:ident, $fault_:ident, $s:ident, $r:ident| $compute:expr,
-        decide: |$dself:ident| $decide:expr,
+        compute: |$model_:ident, $program_:ident, $fault_:ident, $s:ident, $r:ident| $compute:expr,
+        fast: |$fmodel:ident, $fprogram:ident, $ffault:ident, $fs:ident, $fr:ident| $fast:expr,
+        decide: |$dself:ident, $didx:ident| $decide:expr,
     ) => {
         $(#[$doc])*
-        pub struct $Runner<P: $Program, S = UniformScheduler, A = NoOmissions> {
+        pub struct $Runner<
+            P: $Program,
+            S = UniformScheduler,
+            A = NoOmissions,
+            T = FullTrace<<P as $Program>::State, $Fault>,
+        > {
             model: $Model,
             program: P,
             config: Configuration<P::State>,
@@ -131,12 +147,12 @@ macro_rules! runner_impl {
             rng: SmallRng,
             next_index: u64,
             stats: RunStats,
-            trace: Option<Trace<P::State, $Fault>>,
+            sink: T,
         }
 
         impl<P: $Program> $Runner<P> {
             /// Starts building a runner for `program` under `model`.
-            pub fn builder(model: $Model, program: P) -> $Builder<P, UniformScheduler, NoOmissions> {
+            pub fn builder(model: $Model, program: P) -> $Builder<P> {
                 $Builder {
                     model,
                     program,
@@ -145,16 +161,17 @@ macro_rules! runner_impl {
                     adversary: NoOmissions,
                     side_policy: SidePolicy::Uniform,
                     seed: 0x9f75_53c1,
-                    record_trace: false,
+                    sink: FullTrace::disabled(),
                 }
             }
         }
 
-        impl<P, S, A> $Runner<P, S, A>
+        impl<P, S, A, T> $Runner<P, S, A, T>
         where
             P: $Program,
             S: Scheduler,
             A: OmissionStrategy,
+            T: TraceSink<P::State, $Fault>,
         {
             /// The interaction model in force.
             pub fn model(&self) -> $Model {
@@ -191,15 +208,20 @@ macro_rules! runner_impl {
                 &self.adversary
             }
 
-            /// The recorded trace so far, if tracing is enabled.
+            /// The trace sink.
+            pub fn sink(&self) -> &T {
+                &self.sink
+            }
+
+            /// The recorded trace so far, if the sink retains one.
             pub fn trace(&self) -> Option<&Trace<P::State, $Fault>> {
-                self.trace.as_ref()
+                self.sink.trace()
             }
 
             /// Removes and returns the trace recorded so far, leaving an
-            /// empty one in place (tracing stays enabled).
+            /// empty one in place (the sink keeps recording as before).
             pub fn take_trace(&mut self) -> Option<Trace<P::State, $Fault>> {
-                self.trace.as_mut().map(std::mem::take)
+                self.sink.take_trace()
             }
 
             fn execute(
@@ -208,24 +230,35 @@ macro_rules! runner_impl {
                 fault: $Fault,
                 want_record: bool,
             ) -> Result<Option<StepRecord<P::State, $Fault>>, EngineError> {
-                interaction.check_bounds(self.config.len())?;
-                let old_s = self.config.state(interaction.starter()).clone();
-                let old_r = self.config.state(interaction.reactor()).clone();
+                if !want_record && self.sink.is_passive() {
+                    return self.execute_in_place(interaction, fault).map(|()| None);
+                }
                 let (new_s, new_r) = {
-                    let $self_ = &*self;
-                    let $i = interaction;
+                    let ($s, $r) = self.config.pair_states(interaction)?;
+                    let $model_ = self.model;
+                    let $program_ = &self.program;
                     let $fault_ = fault;
-                    let $s = &old_s;
-                    let $r = &old_r;
                     $compute?
                 };
-                let changed = new_s != old_s || new_r != old_r;
-                self.config
-                    .write_pair(interaction, (new_s.clone(), new_r.clone()))?;
+                let changed = new_s != *self.config.state(interaction.starter())
+                    || new_r != *self.config.state(interaction.reactor());
+                let omissive = is_omissive(&fault);
                 let index = self.next_index;
                 self.next_index += 1;
-                self.stats.record(is_omissive(&fault), changed);
-                let make = |old_starter: P::State, old_reactor: P::State| StepRecord {
+                self.stats.record(omissive, changed);
+                let sink_wants = self.sink.wants_record(index, omissive, changed);
+                if !want_record && !sink_wants {
+                    // Zero-clone fast path: nobody needs the record, and
+                    // an unchanged pair needs no write either.
+                    if changed {
+                        self.config.write_pair(interaction, (new_s, new_r))?;
+                    }
+                    return Ok(None);
+                }
+                let (old_starter, old_reactor) = self
+                    .config
+                    .write_pair(interaction, (new_s.clone(), new_r.clone()))?;
+                let record = StepRecord {
                     index,
                     interaction,
                     fault,
@@ -234,21 +267,49 @@ macro_rules! runner_impl {
                     new_starter: new_s,
                     new_reactor: new_r,
                 };
-                if let Some(trace) = self.trace.as_mut() {
-                    let rec = make(old_s, old_r);
-                    trace.push(rec.clone());
-                    return Ok(if want_record { Some(rec) } else { None });
+                if !sink_wants {
+                    return Ok(Some(record));
                 }
-                Ok(if want_record {
-                    Some(make(old_s, old_r))
+                if want_record {
+                    self.sink.accept(record.clone());
+                    Ok(Some(record))
                 } else {
-                    None
-                })
+                    self.sink.accept(record);
+                    Ok(None)
+                }
+            }
+
+            /// The record-free fast path: endpoint states mutate in place
+            /// through the program's `*_in_place` hooks (exactly
+            /// equivalent to the pure outcome followed by a
+            /// compare-and-store), so a step costs no state construction
+            /// at all for programs that override them.
+            fn execute_in_place(
+                &mut self,
+                interaction: Interaction,
+                fault: $Fault,
+            ) -> Result<(), EngineError> {
+                let (s_changed, r_changed) = {
+                    let ($fs, $fr) = self.config.pair_states_mut(interaction)?;
+                    let $fmodel = self.model;
+                    let $fprogram = &self.program;
+                    let $ffault = fault;
+                    $fast?
+                };
+                self.next_index += 1;
+                self.stats
+                    .record(is_omissive(&fault), s_changed || r_changed);
+                Ok(())
+            }
+
+            fn decide_fault(&mut self, index: u64) -> $Fault {
+                let $dself = self;
+                let $didx = index;
+                $decide
             }
 
             fn next_fault(&mut self) -> $Fault {
-                let $dself = self;
-                $decide
+                self.decide_fault(self.next_index)
             }
 
             /// Executes one scheduled interaction and returns its record.
@@ -269,7 +330,7 @@ macro_rules! runner_impl {
             }
 
             /// Executes `steps` scheduled interactions without building
-            /// per-step records (the trace, if enabled, is still filled).
+            /// per-step records (the sink, if it wants them, is still fed).
             ///
             /// # Errors
             ///
@@ -280,6 +341,87 @@ macro_rules! runner_impl {
                     let interaction = self.scheduler.next_interaction(n, &mut self.rng);
                     let fault = self.next_fault();
                     self.execute(interaction, fault, false)?;
+                }
+                Ok(())
+            }
+
+            /// Fills `plan` with the next `take` scheduled steps, drawing
+            /// the interaction and then the fault of each step in exactly
+            /// the order the scalar loop would, so batched and scalar runs
+            /// consume the shared RNG stream identically.
+            fn draw_batch(&mut self, plan: &mut Vec<Planned<$Fault>>, take: u64) {
+                plan.clear();
+                let n = self.config.len();
+                for k in 0..take {
+                    let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                    let fault = self.decide_fault(self.next_index + k);
+                    plan.push(Planned::new(interaction, fault));
+                }
+            }
+
+            /// Applies a drawn batch. With a passive sink this runs the
+            /// tight loop: endpoint states mutate in place, no clones, no
+            /// records.
+            fn apply_batch_plan(&mut self, plan: &[Planned<$Fault>]) -> Result<(), EngineError> {
+                if !self.sink.is_passive() {
+                    for p in plan {
+                        self.execute(p.interaction, p.fault, false)?;
+                    }
+                    return Ok(());
+                }
+                let $Runner {
+                    model,
+                    program,
+                    config,
+                    stats,
+                    next_index,
+                    ..
+                } = self;
+                let model = *model;
+                for p in plan {
+                    let (s_changed, r_changed) = {
+                        let ($fs, $fr) = config.pair_states_mut(p.interaction)?;
+                        let $fmodel = model;
+                        let $fprogram = &*program;
+                        let $ffault = p.fault;
+                        $fast?
+                    };
+                    *next_index += 1;
+                    stats.record(is_omissive(&p.fault), s_changed || r_changed);
+                }
+                Ok(())
+            }
+
+            /// Executes `steps` scheduled interactions in batches of
+            /// `batch`: each batch is drawn from the scheduler and
+            /// adversary up front, then applied through the in-place
+            /// fast path.
+            ///
+            /// For the same seed this is *bit-identical* to
+            /// [`run`](Self::run) — same RNG stream, same configuration,
+            /// same [`RunStats`] — the batching only changes how the work
+            /// is staged. With a passive sink (e.g.
+            /// [`StatsOnly`](crate::StatsOnly), or the default sink before
+            /// `record_trace(true)`) no step builds a record or clones a
+            /// state.
+            ///
+            /// # Errors
+            ///
+            /// Same conditions as [`step`](Self::step); earlier steps of a
+            /// failing batch remain applied.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `batch` is zero.
+            pub fn run_batched(&mut self, steps: u64, batch: u64) -> Result<(), EngineError> {
+                assert!(batch > 0, "batch size must be positive");
+                let mut plan = Vec::with_capacity(batch.min(steps) as usize);
+                let mut remaining = steps;
+                while remaining > 0 {
+                    let take = remaining.min(batch);
+                    self.draw_batch(&mut plan, take);
+                    self.apply_batch_plan(&plan)?;
+                    remaining -= take;
                 }
                 Ok(())
             }
@@ -304,6 +446,55 @@ macro_rules! runner_impl {
                     if self.execute(interaction, fault, false).is_err() {
                         break;
                     }
+                    if predicate(&self.config) {
+                        return RunOutcome::Satisfied {
+                            steps: self.next_index,
+                        };
+                    }
+                }
+                RunOutcome::Exhausted {
+                    steps: self.next_index,
+                }
+            }
+
+            /// Runs until `predicate` holds on the configuration, checking
+            /// it before the first step and then only at *batch
+            /// boundaries*, or until `max_steps` further interactions have
+            /// executed.
+            ///
+            /// Sampling at boundaries makes an expensive predicate (e.g. a
+            /// full projection of a simulator configuration) cost `1/batch`
+            /// of its scalar price, at the resolution cost of overshooting
+            /// the flip instant by up to `batch - 1` steps. Because the
+            /// instant a predicate first holds is already fuzzy under
+            /// batching, wrap the predicate in
+            /// [`stably`](crate::convergence::stably) when a transiently
+            /// true (mid-handshake) sample must not end the run.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `batch` is zero.
+            pub fn run_batched_until(
+                &mut self,
+                max_steps: u64,
+                batch: u64,
+                mut predicate: impl FnMut(&Configuration<P::State>) -> bool,
+            ) -> RunOutcome {
+                assert!(batch > 0, "batch size must be positive");
+                if predicate(&self.config) {
+                    return RunOutcome::Satisfied {
+                        steps: self.next_index,
+                    };
+                }
+                let mut plan = Vec::with_capacity(batch.min(max_steps) as usize);
+                let mut remaining = max_steps;
+                while remaining > 0 {
+                    let take = remaining.min(batch);
+                    self.draw_batch(&mut plan, take);
+                    if self.apply_batch_plan(&plan).is_err() {
+                        break;
+                    }
+                    remaining -= take;
                     if predicate(&self.config) {
                         return RunOutcome::Satisfied {
                             steps: self.next_index,
@@ -373,7 +564,12 @@ macro_rules! runner_impl {
         }
 
         /// Builder for the runner; see `builder` on the runner type.
-        pub struct $Builder<P: $Program, S, A> {
+        pub struct $Builder<
+            P: $Program,
+            S = UniformScheduler,
+            A = NoOmissions,
+            T = FullTrace<<P as $Program>::State, $Fault>,
+        > {
             model: $Model,
             program: P,
             config: Option<Configuration<P::State>>,
@@ -381,14 +577,15 @@ macro_rules! runner_impl {
             adversary: A,
             side_policy: SidePolicy,
             seed: u64,
-            record_trace: bool,
+            sink: T,
         }
 
-        impl<P, S, A> $Builder<P, S, A>
+        impl<P, S, A, T> $Builder<P, S, A, T>
         where
             P: $Program,
             S: Scheduler,
             A: OmissionStrategy,
+            T: TraceSink<P::State, $Fault>,
         {
             /// Sets the initial configuration (required).
             pub fn config(mut self, config: Configuration<P::State>) -> Self {
@@ -397,7 +594,7 @@ macro_rules! runner_impl {
             }
 
             /// Replaces the scheduler (default: [`UniformScheduler`]).
-            pub fn scheduler<S2: Scheduler>(self, scheduler: S2) -> $Builder<P, S2, A> {
+            pub fn scheduler<S2: Scheduler>(self, scheduler: S2) -> $Builder<P, S2, A, T> {
                 $Builder {
                     model: self.model,
                     program: self.program,
@@ -406,14 +603,14 @@ macro_rules! runner_impl {
                     adversary: self.adversary,
                     side_policy: self.side_policy,
                     seed: self.seed,
-                    record_trace: self.record_trace,
+                    sink: self.sink,
                 }
             }
 
             /// Replaces the omission adversary (default: [`NoOmissions`]).
             /// Only consulted when the model's relation has omissive
             /// outcomes.
-            pub fn adversary<A2: OmissionStrategy>(self, adversary: A2) -> $Builder<P, S, A2> {
+            pub fn adversary<A2: OmissionStrategy>(self, adversary: A2) -> $Builder<P, S, A2, T> {
                 $Builder {
                     model: self.model,
                     program: self.program,
@@ -422,7 +619,29 @@ macro_rules! runner_impl {
                     adversary,
                     side_policy: self.side_policy,
                     seed: self.seed,
-                    record_trace: self.record_trace,
+                    sink: self.sink,
+                }
+            }
+
+            /// Replaces the trace sink (default: a disabled
+            /// [`FullTrace`], i.e. no recording). Use
+            /// [`StatsOnly`](crate::StatsOnly) for the zero-allocation
+            /// measurement path or
+            /// [`SampledTrace`](crate::SampledTrace) for bounded-memory
+            /// forensics.
+            pub fn trace_sink<T2: TraceSink<P::State, $Fault>>(
+                self,
+                sink: T2,
+            ) -> $Builder<P, S, A, T2> {
+                $Builder {
+                    model: self.model,
+                    program: self.program,
+                    config: self.config,
+                    scheduler: self.scheduler,
+                    adversary: self.adversary,
+                    side_policy: self.side_policy,
+                    seed: self.seed,
+                    sink,
                 }
             }
 
@@ -439,19 +658,13 @@ macro_rules! runner_impl {
                 self
             }
 
-            /// Enables trace recording.
-            pub fn record_trace(mut self, record: bool) -> Self {
-                self.record_trace = record;
-                self
-            }
-
             /// Builds the runner.
             ///
             /// # Errors
             ///
             /// Returns [`EngineError::InvalidPopulation`] if no
             /// configuration was supplied or it has fewer than two agents.
-            pub fn build(self) -> Result<$Runner<P, S, A>, EngineError> {
+            pub fn build(self) -> Result<$Runner<P, S, A, T>, EngineError> {
                 let config = self.config.unwrap_or_else(|| Configuration::new(vec![]));
                 if config.len() < 2 {
                     return Err(EngineError::InvalidPopulation { len: config.len() });
@@ -466,12 +679,28 @@ macro_rules! runner_impl {
                     rng: SmallRng::seed_from_u64(self.seed),
                     next_index: 0,
                     stats: RunStats::default(),
-                    trace: if self.record_trace {
-                        Some(Trace::new())
-                    } else {
-                        None
-                    },
+                    sink: self.sink,
                 })
+            }
+        }
+
+        impl<P, S, A> $Builder<P, S, A, FullTrace<<P as $Program>::State, $Fault>>
+        where
+            P: $Program,
+            S: Scheduler,
+            A: OmissionStrategy,
+        {
+            /// Enables or disables full trace recording — shorthand for
+            /// `trace_sink(FullTrace::new())` resp. the disabled default,
+            /// kept so certification call sites read the same as before
+            /// sinks existed.
+            pub fn record_trace(mut self, record: bool) -> Self {
+                self.sink = if record {
+                    FullTrace::new()
+                } else {
+                    FullTrace::disabled()
+                };
+                self
             }
         }
     };
@@ -507,10 +736,11 @@ runner_impl! {
     model: OneWayModel,
     fault: OneWayFault,
     program: OneWayProgram,
-    compute: |this, _i, fault, s, r| outcome::one_way(this.model, &this.program, s, r, fault),
-    decide: |this| {
+    compute: |model, program, fault, s, r| outcome::one_way(model, program, s, r, fault),
+    fast: |model, program, fault, s, r| outcome::one_way_in_place(model, program, s, r, fault),
+    decide: |this, index| {
         if this.model.allows_omissions()
-            && this.adversary.decide(this.next_index, &mut this.rng)
+            && this.adversary.decide(index, &mut this.rng)
         {
             OneWayFault::Omission
         } else {
@@ -530,10 +760,11 @@ runner_impl! {
     model: TwoWayModel,
     fault: TwoWayFault,
     program: TwoWayProgram,
-    compute: |this, _i, fault, s, r| outcome::two_way(this.model, &this.program, s, r, fault),
-    decide: |this| {
+    compute: |model, program, fault, s, r| outcome::two_way(model, program, s, r, fault),
+    fast: |model, program, fault, s, r| outcome::two_way_in_place(model, program, s, r, fault),
+    decide: |this, index| {
         if this.model.allows_omissions()
-            && this.adversary.decide(this.next_index, &mut this.rng)
+            && this.adversary.decide(index, &mut this.rng)
         {
             this.side_policy.pick(this.model, &mut this.rng)
         } else {
@@ -545,7 +776,10 @@ runner_impl! {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{AtMostOneStrategy, RateStrategy, ScriptedOmissions, ScriptedScheduler};
+    use crate::{
+        AtMostOneStrategy, RateStrategy, SampledTrace, ScriptedOmissions, ScriptedScheduler,
+        StatsOnly,
+    };
     use ppfts_population::TableProtocol;
 
     struct Epidemic;
@@ -594,6 +828,128 @@ mod tests {
             (s1.omissive_steps, s1.changed_steps),
             (s2.omissive_steps, s2.changed_steps)
         );
+    }
+
+    #[test]
+    fn batched_run_matches_scalar_run() {
+        let scalar = {
+            let mut r = OneWayRunner::builder(OneWayModel::I3, Epidemic)
+                .config(Configuration::new(vec![true, false, false, false]))
+                .adversary(RateStrategy::new(0.3))
+                .seed(42)
+                .build()
+                .unwrap();
+            r.run(500).unwrap();
+            (r.config().clone(), r.stats())
+        };
+        for batch in [1u64, 7, 64, 500, 1000] {
+            let mut r = OneWayRunner::builder(OneWayModel::I3, Epidemic)
+                .config(Configuration::new(vec![true, false, false, false]))
+                .adversary(RateStrategy::new(0.3))
+                .seed(42)
+                .trace_sink(StatsOnly)
+                .build()
+                .unwrap();
+            r.run_batched(500, batch).unwrap();
+            assert_eq!((r.config().clone(), r.stats()), scalar, "batch {batch}");
+            assert_eq!(r.steps(), 500);
+        }
+    }
+
+    #[test]
+    fn batched_run_feeds_a_recording_sink() {
+        let build = || {
+            OneWayRunner::builder(OneWayModel::Io, Epidemic)
+                .config(Configuration::new(vec![true, false, false]))
+                .record_trace(true)
+                .seed(9)
+                .build()
+                .unwrap()
+        };
+        let mut scalar = build();
+        scalar.run(40).unwrap();
+        let mut batched = build();
+        batched.run_batched(40, 8).unwrap();
+        assert_eq!(scalar.trace(), batched.trace());
+        assert_eq!(batched.trace().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn batched_until_checks_at_boundaries_only() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false, false, false, false]))
+            .seed(1)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(100_000, 64, |c| c.as_slice().iter().all(|b| *b));
+        assert!(out.is_satisfied());
+        assert!(
+            out.steps().is_multiple_of(64),
+            "stops only at batch boundaries, got {}",
+            out.steps()
+        );
+    }
+
+    #[test]
+    fn batched_until_checks_initial_configuration() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, true]))
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(10, 4, |c| c.as_slice().iter().all(|b| *b));
+        assert_eq!(out, RunOutcome::Satisfied { steps: 0 });
+    }
+
+    #[test]
+    fn batched_until_exhausts_budget_exactly() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![false, false]))
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        // 25 is not a multiple of the batch: the tail batch is short.
+        let out = runner.run_batched_until(25, 8, |c| c.as_slice().iter().any(|b| *b));
+        assert_eq!(out, RunOutcome::Exhausted { steps: 25 });
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_is_rejected() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false]))
+            .build()
+            .unwrap();
+        let _ = runner.run_batched(10, 0);
+    }
+
+    #[test]
+    fn sampled_sink_keeps_interesting_steps() {
+        let mut runner = OneWayRunner::builder(OneWayModel::I3, Epidemic)
+            .config(Configuration::new(vec![true, false, false, false]))
+            .adversary(RateStrategy::new(0.2))
+            .seed(11)
+            .trace_sink(SampledTrace::every(50))
+            .build()
+            .unwrap();
+        runner.run(200).unwrap();
+        let trace = runner.trace().unwrap();
+        assert!(trace.len() < 200, "no-op steps are dropped");
+        let stats = runner.stats();
+        assert_eq!(
+            trace.omissive_count(|f| f.is_omissive()) as u64,
+            stats.omissive_steps,
+            "every omissive step is retained"
+        );
+        assert_eq!(
+            trace.changed_count() as u64,
+            stats.changed_steps,
+            "every state-changing step is retained"
+        );
+        // The stride heartbeat: indices 0, 50, 100, 150 are all present.
+        for idx in [0u64, 50, 100, 150] {
+            assert!(trace.iter().any(|r| r.index == idx), "heartbeat {idx}");
+        }
     }
 
     #[test]
@@ -689,6 +1045,28 @@ mod tests {
     }
 
     #[test]
+    fn two_way_batched_matches_scalar() {
+        let run = |batched: Option<u64>| {
+            let mut r = TwoWayRunner::builder(TwoWayModel::T1, pairing())
+                .config(Configuration::from_groups([('c', 3), ('p', 3)]))
+                .adversary(RateStrategy::new(0.25))
+                .side_policy(SidePolicy::Uniform)
+                .seed(13)
+                .build()
+                .unwrap();
+            match batched {
+                Some(b) => r.run_batched(400, b).unwrap(),
+                None => r.run(400).unwrap(),
+            }
+            (r.config().clone(), r.stats())
+        };
+        let scalar = run(None);
+        for batch in [1, 32, 400] {
+            assert_eq!(run(Some(batch)), scalar, "batch {batch}");
+        }
+    }
+
+    #[test]
     fn two_way_scripted_omission_changes_outcome() {
         // (c, p) meet but the reactor side omits: in T1 the starter still
         // applies fs, turning c -> s while p survives — the exact hazard
@@ -768,5 +1146,19 @@ mod tests {
         // Everyone already infected: every step is a no-op.
         assert_eq!(runner.stats().noop_steps, 10);
         assert_eq!(runner.stats().changed_steps, 0);
+    }
+
+    #[test]
+    fn stats_only_runner_exposes_no_trace() {
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false]))
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        runner.run(5).unwrap();
+        assert!(runner.trace().is_none());
+        assert!(runner.take_trace().is_none());
+        assert_eq!(runner.sink(), &StatsOnly);
+        assert_eq!(runner.stats().steps, 5);
     }
 }

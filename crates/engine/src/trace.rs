@@ -131,12 +131,12 @@ impl<Q: State, F> Trace<Q, F> {
         self.records.iter().filter(|r| r.changed()).count()
     }
 
-    /// Records involving `agent`, in execution order.
-    pub fn involving(&self, agent: AgentId) -> Vec<&StepRecord<Q, F>> {
+    /// Records involving `agent`, in execution order, lazily — collect if
+    /// a `Vec` is needed, or consume in place without allocating.
+    pub fn involving(&self, agent: AgentId) -> impl Iterator<Item = &StepRecord<Q, F>> {
         self.records
             .iter()
-            .filter(|r| r.interaction.involves(agent))
-            .collect()
+            .filter(move |r| r.interaction.involves(agent))
     }
 }
 
@@ -202,8 +202,10 @@ mod tests {
         t.push(rec(0, 0, 1, OneWayFault::None, true));
         t.push(rec(1, 1, 2, OneWayFault::None, true));
         t.push(rec(2, 2, 0, OneWayFault::None, true));
-        assert_eq!(t.involving(AgentId::new(0)).len(), 2);
-        assert_eq!(t.involving(AgentId::new(3)).len(), 0);
+        assert_eq!(t.involving(AgentId::new(0)).count(), 2);
+        assert_eq!(t.involving(AgentId::new(3)).count(), 0);
+        let indices: Vec<u64> = t.involving(AgentId::new(2)).map(|r| r.index).collect();
+        assert_eq!(indices, vec![1, 2], "execution order is preserved");
     }
 
     #[test]

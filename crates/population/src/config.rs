@@ -162,6 +162,64 @@ impl<Q: State> Configuration<Q> {
         Ok((s, r))
     }
 
+    /// Borrows the states of both endpoints of `i` without cloning — the
+    /// read half of the engine's batched fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of bounds.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ppfts_population::{Configuration, Interaction};
+    ///
+    /// let c = Configuration::new(vec!['a', 'b', 'c']);
+    /// assert_eq!(c.pair_states(Interaction::new(2, 0)?)?, (&'c', &'a'));
+    /// # Ok::<(), ppfts_population::PopulationError>(())
+    /// ```
+    pub fn pair_states(&self, i: Interaction) -> Result<(&Q, &Q), PopulationError> {
+        i.check_bounds(self.len())?;
+        Ok((
+            &self.states[i.starter().index()],
+            &self.states[i.reactor().index()],
+        ))
+    }
+
+    /// Mutably borrows the states of both endpoints of `i` — the engine's
+    /// in-place fast path. The endpoints are distinct by construction
+    /// ([`Interaction`] forbids self-loops), so the split borrow is safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of bounds.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ppfts_population::{Configuration, Interaction};
+    ///
+    /// let mut c = Configuration::new(vec![1, 2, 3]);
+    /// let (s, r) = c.pair_states_mut(Interaction::new(2, 0)?)?;
+    /// *s += 10;
+    /// *r += 20;
+    /// assert_eq!(c.as_slice(), &[21, 2, 13]);
+    /// # Ok::<(), ppfts_population::PopulationError>(())
+    /// ```
+    pub fn pair_states_mut(&mut self, i: Interaction) -> Result<(&mut Q, &mut Q), PopulationError> {
+        i.check_bounds(self.len())?;
+        let si = i.starter().index();
+        let ri = i.reactor().index();
+        debug_assert_ne!(si, ri, "interactions are self-loop-free");
+        if si < ri {
+            let (lo, hi) = self.states.split_at_mut(ri);
+            Ok((&mut lo[si], &mut hi[0]))
+        } else {
+            let (lo, hi) = self.states.split_at_mut(si);
+            Ok((&mut hi[0], &mut lo[ri]))
+        }
+    }
+
     /// Writes `(s', r')` to the endpoints of `i`, returning the replaced
     /// states. This is the raw update used by the interaction-model engine,
     /// which computes the outcome pair itself (possibly from a *faulty*
@@ -259,6 +317,36 @@ mod tests {
             err.unwrap_err(),
             PopulationError::AgentOutOfBounds { agent: 9, len: 2 }
         );
+    }
+
+    #[test]
+    fn pair_states_borrows_both_roles() {
+        let c = Configuration::new(vec!['a', 'b', 'c']);
+        let i = Interaction::new(1, 2).unwrap();
+        assert_eq!(c.pair_states(i).unwrap(), (&'b', &'c'));
+        let oob = Interaction::new(0, 7).unwrap();
+        assert_eq!(
+            c.pair_states(oob).unwrap_err(),
+            PopulationError::AgentOutOfBounds { agent: 7, len: 3 }
+        );
+    }
+
+    #[test]
+    fn pair_states_mut_splits_both_orders() {
+        let mut c = Configuration::new(vec![10u8, 20, 30]);
+        {
+            let (s, r) = c.pair_states_mut(Interaction::new(0, 2).unwrap()).unwrap();
+            assert_eq!((*s, *r), (10, 30));
+            *s = 11;
+            *r = 31;
+        }
+        {
+            let (s, r) = c.pair_states_mut(Interaction::new(2, 1).unwrap()).unwrap();
+            assert_eq!((*s, *r), (31, 20));
+            *r = 21;
+        }
+        assert_eq!(c.as_slice(), &[11, 21, 31]);
+        assert!(c.pair_states_mut(Interaction::new(0, 5).unwrap()).is_err());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!   its two-way protocol:
 //!   [`audit_pairing`] enforces the
 //!   Pairing problem's irrevocability/safety/liveness (Definition 5)
-//!   step-by-step; [`model_check`] explores the *exact*
+//!   step-by-step ([`audit_pairing_batched`] at batch boundaries, for the
+//!   witnesses that only need Pairing's sticky violations);
+//!   [`model_check`] explores the *exact*
 //!   reachable configuration graph of small systems and decides
 //!   stabilization under global fairness via terminal strongly-connected
 //!   components.
@@ -40,4 +42,6 @@ pub use attack::{
 };
 pub use model_check::{explore_one_way, explore_two_way, ExploreError, StateGraph};
 pub use optimist::{Optimist, OptimistState};
-pub use pairing_audit::{audit_pairing, AuditReport, PairingViolation};
+pub use pairing_audit::{
+    audit_pairing, audit_pairing_batched, pairing_converged, AuditReport, PairingViolation,
+};

@@ -9,12 +9,28 @@
 //! mean/min per-iteration times are printed. It honors the `--test` flag
 //! that `cargo test` passes to `harness = false` bench targets by running
 //! each benchmark exactly once, so `cargo test` stays fast and green.
+//!
+//! # JSON baselines
+//!
+//! When the `BENCH_JSON` environment variable names a file, every bench
+//! binary writes its measurements there on exit (via [`criterion_main!`]):
+//! a flat JSON object mapping bench id to `{"mean_ns", "min_ns", "iters"}`.
+//! Entries already present in the file but not re-measured by the current
+//! run are preserved, so successive `cargo bench` invocations of different
+//! bench targets accumulate into one baseline file (the repository commits
+//! one as `BENCH_RESULTS.json`).
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated by every [`Criterion`] in this process, flushed by
+/// [`criterion_main!`] through [`write_json_report`].
+static RESULTS: Mutex<Vec<(String, u128, u128, u64)>> = Mutex::new(Vec::new());
 
 /// Prevents the optimizer from discarding `value`.
 pub fn black_box<T>(value: T) -> T {
@@ -111,6 +127,14 @@ impl Criterion {
                     "{id:<50} mean {:>12?}  min {:>12?}  ({} iters)",
                     mean, bencher.min, bencher.iters
                 );
+                if bencher.iters > 0 {
+                    RESULTS.lock().expect("results poisoned").push((
+                        id.to_string(),
+                        mean.as_nanos(),
+                        bencher.min.as_nanos(),
+                        bencher.iters,
+                    ));
+                }
             }
         }
     }
@@ -247,6 +271,61 @@ impl IntoBenchmarkId for String {
     }
 }
 
+/// Parses one entry line of the flat report format written by
+/// [`write_json_report`]: `  "<id>": {"mean_ns": .., "min_ns": .., ..},`.
+fn parse_report_line(line: &str) -> Option<(String, String)> {
+    let t = line.trim().trim_end_matches(',');
+    let rest = t.strip_prefix('"')?;
+    let (id, body) = rest.split_once("\": ")?;
+    if body.starts_with('{') && body.ends_with('}') {
+        Some((id.to_string(), body.to_string()))
+    } else {
+        None
+    }
+}
+
+/// Writes the accumulated measurements of this process to the file named
+/// by the `BENCH_JSON` environment variable (no-op when unset).
+///
+/// The file is a flat JSON object `{"<bench id>": {"mean_ns": u64,
+/// "min_ns": u64, "iters": u64}}`. Entries from a previous run that this
+/// process did not re-measure are carried over, so the file accumulates a
+/// whole-workspace baseline across bench binaries.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results poisoned");
+    if results.is_empty() {
+        return;
+    }
+    let mut entries: BTreeMap<String, String> = std::fs::read_to_string(&path)
+        .map(|text| text.lines().filter_map(parse_report_line).collect())
+        .unwrap_or_default();
+    for (id, mean, min, iters) in results.iter() {
+        entries.insert(
+            id.clone(),
+            format!("{{\"mean_ns\": {mean}, \"min_ns\": {min}, \"iters\": {iters}}}"),
+        );
+    }
+    let mut out = String::from("{\n");
+    let last = entries.len().saturating_sub(1);
+    for (i, (id, body)) in entries.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(id);
+        out.push_str("\": ");
+        out.push_str(body);
+        if i != last {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: could not write {path}: {e}");
+    }
+}
+
 /// Declares a group of benchmark functions, mirroring criterion's macro.
 #[macro_export]
 macro_rules! criterion_group {
@@ -264,6 +343,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -271,6 +351,17 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn report_lines_round_trip() {
+        let line = "  \"group/bench\": {\"mean_ns\": 120, \"min_ns\": 100, \"iters\": 5},";
+        let (id, body) = parse_report_line(line).unwrap();
+        assert_eq!(id, "group/bench");
+        assert_eq!(body, "{\"mean_ns\": 120, \"min_ns\": 100, \"iters\": 5}");
+        assert_eq!(parse_report_line("{"), None);
+        assert_eq!(parse_report_line("}"), None);
+        assert_eq!(parse_report_line("  \"unterminated\": {"), None);
+    }
 
     #[test]
     fn benchmark_id_formats() {

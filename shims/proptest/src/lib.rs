@@ -362,6 +362,18 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
 }
 
 /// [`prop_assert!`] for inequality, printing both operands.
@@ -374,6 +386,17 @@ macro_rules! prop_assert_ne {
             "assertion failed: `{} != {}`\n  both: {:?}",
             stringify!($left),
             stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`: {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)*),
             l
         );
     }};
