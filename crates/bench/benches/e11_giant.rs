@@ -1,0 +1,47 @@
+//! E11 — giant-n epidemic on the count-based population backend, the
+//! scale lever the `Population` refactor unlocks: one seed of the
+//! n = 10⁶ epidemic run to stable full infection (`run_batched_until` +
+//! `stably`), measured on both backends.
+//!
+//! * `epidemic_count_n1e6` — `CountConfiguration`: O(1) memory, O(1)
+//!   boundary predicate. This is the committed throughput floor; the
+//!   acceptance bar is < 5 s per seed.
+//! * `epidemic_dense_n1e6` — dense `Configuration` at the same n, the
+//!   largest size both backends run: same dynamics, but an O(n) boundary
+//!   predicate and O(n) memory. The gap between the two entries is the
+//!   count backend's win.
+//!
+//! Run with `BENCH_JSON=$PWD/BENCH_RESULTS.json cargo bench -p
+//! ppfts-bench --bench e11_giant` from the workspace root to record the
+//! numbers into the committed baseline (the bench binary's working
+//! directory is the package, so a relative path lands in
+//! `crates/bench/`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppfts_bench::{measure_epidemic_giant, measure_epidemic_giant_dense};
+
+const N: usize = 1_000_000;
+const BUDGET: u64 = 400_000_000;
+
+fn bench_e11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_giant");
+    group.sample_size(3);
+    group.bench_function("epidemic_count_n1e6", |b| {
+        b.iter(|| {
+            let conv = measure_epidemic_giant(N, 1, BUDGET);
+            assert_eq!(conv.converged, 1, "seed 0 must converge in budget");
+            conv.mean_steps
+        })
+    });
+    group.bench_function("epidemic_dense_n1e6", |b| {
+        b.iter(|| {
+            let conv = measure_epidemic_giant_dense(N, 1, BUDGET);
+            assert_eq!(conv.converged, 1, "seed 0 must converge in budget");
+            conv.mean_steps
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e11);
+criterion_main!(benches);

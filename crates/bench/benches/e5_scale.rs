@@ -6,8 +6,11 @@
 //! predicate, default sink) and on the batched `StatsOnly` path
 //! (`measure_skno`: `run_batched_until` + `stably`).
 //!
-//! Run with `BENCH_JSON=BENCH_RESULTS.json cargo bench -p ppfts-bench
-//! --bench e5_scale` to record the numbers into the committed baseline.
+//! Run with `BENCH_JSON=$PWD/BENCH_RESULTS.json cargo bench -p
+//! ppfts-bench --bench e5_scale` from the workspace root to record the
+//! numbers into the committed baseline (the bench binary's working
+//! directory is the package, so a relative path lands in
+//! `crates/bench/`).
 //! The `scalar_seed` entry in that file was captured at the pre-refactor
 //! seed (commit 5083bc7) and is the floor the batched path is measured
 //! against; `scalar` re-measures the current scalar path (already faster

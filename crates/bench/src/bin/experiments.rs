@@ -1,4 +1,4 @@
-//! Runs the full experiment suite (DESIGN.md E1–E10) and prints the
+//! Runs the full experiment suite (DESIGN.md E1–E11) and prints the
 //! paper-claim-vs-measured tables recorded in EXPERIMENTS.md.
 //!
 //! Convergence measurements (E5, E7, E8) run on the engine's batched
@@ -9,7 +9,8 @@
 //! Run with: `cargo run --release -p ppfts-bench --bin experiments`
 
 use ppfts_bench::{
-    measure_named, measure_naming_phase, measure_sid, measure_skno, skno_peak_tokens,
+    measure_epidemic_giant, measure_epidemic_giant_dense, measure_named, measure_naming_phase,
+    measure_sid, measure_skno, skno_peak_tokens,
 };
 use ppfts_core::{fastest_transition_time, Sid, SidState, Skno, SknoState};
 use ppfts_engine::hierarchy::{direct_inclusions, includes};
@@ -183,6 +184,25 @@ fn main() {
         "Flock-of-birds motivation: run `cargo run --example flock_of_birds`",
     );
     println!("(threshold detection under omissive I3 with SKnO)");
+
+    header(
+        "E11",
+        "Giant-n epidemic on the count backend (n = 10²…10⁶, Θ(n log n))",
+    );
+    println!("count backend (CountConfiguration — O(1) memory in n):");
+    println!(
+        "{:>7} | {:>11} | {:>12} | {:>10}",
+        "n", "converged", "mean steps", "per-agent"
+    );
+    for n in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        let c = measure_epidemic_giant(n, if n <= 10_000 { seeds } else { 3 }, 400_000_000);
+        println!("{}", c.row());
+    }
+    println!("dense backend (same workload, O(n) memory + O(n) boundary predicate):");
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let c = measure_epidemic_giant_dense(n, if n <= 10_000 { seeds } else { 3 }, 400_000_000);
+        println!("{}", c.row());
+    }
 
     println!("\nAll experiment tables printed. EXPERIMENTS.md records the expected shapes.");
 }

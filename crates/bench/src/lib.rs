@@ -22,9 +22,11 @@
 use ppfts_core::{project, NamedSid, NamedState, Sid, Skno, SknoState};
 use ppfts_engine::convergence::stably;
 use ppfts_engine::{
-    run_seeds, BoundedStrategy, OneWayModel, OneWayRunner, RunOutcome, StatsOnly, UniformScheduler,
+    run_seeds, BoundedStrategy, OneWayModel, OneWayRunner, RunOutcome, StatsOnly, TwoWayModel,
+    TwoWayRunner, UniformScheduler,
 };
-use ppfts_protocols::{Pairing, PairingState};
+use ppfts_population::{Configuration, CountConfiguration};
+use ppfts_protocols::{Epidemic, Pairing, PairingState};
 
 /// Batch size of the harness's batched runs: big enough to amortize the
 /// per-boundary projection predicate to noise, small enough that the
@@ -35,6 +37,12 @@ pub const BATCH: u64 = 1024;
 /// Consecutive batch boundaries a convergence predicate must hold before
 /// a run counts as converged (the [`stably`] window).
 pub const STABLE_WINDOW: u64 = 2;
+
+/// Batch size of the giant-n (E11) harness: large enough to amortize the
+/// per-boundary predicate to noise even when the dense backend pays O(n)
+/// for it, at a step-resolution cost that is negligible against the
+/// Θ(n log n) convergence times measured there.
+pub const GIANT_BATCH: u64 = 8192;
 
 /// Convergence measurement of one simulator configuration, aggregated
 /// over seeds.
@@ -197,6 +205,59 @@ pub fn measure_naming_phase(n: usize, seeds: u64, budget: u64) -> Convergence {
     aggregate(n, results.into_iter().map(|s| s.value))
 }
 
+/// E11: epidemic convergence at giant `n` on the **count** backend —
+/// one infected agent among `n`, run to stable full infection via
+/// `run_batched_until` + [`stably`]. Memory is O(1) in `n`; this is the
+/// harness that sweeps n = 10²…10⁶ on the same API as every other
+/// experiment.
+///
+/// `steps_per_simulated` normalizes by `n` (interactions per agent), the
+/// natural unit for the Θ(n log n) epidemic.
+pub fn measure_epidemic_giant(n: usize, seeds: u64, budget: u64) -> Convergence {
+    measure_epidemic_giant_on(n, seeds, budget, |n| {
+        CountConfiguration::from_groups([(true, 1), (false, n - 1)])
+    })
+}
+
+/// The dense-backend twin of [`measure_epidemic_giant`]: same workload,
+/// same predicate, on the per-agent `Configuration`. O(n) memory and an
+/// O(n) boundary predicate — the floor the count backend is measured
+/// against in `BENCH_RESULTS.json` (`benches/e11_giant.rs`).
+pub fn measure_epidemic_giant_dense(n: usize, seeds: u64, budget: u64) -> Convergence {
+    measure_epidemic_giant_on(n, seeds, budget, |n| {
+        Configuration::from_groups([(true, 1), (false, n - 1)])
+    })
+}
+
+/// The E11 workload, generic in the population backend so the two public
+/// entry points cannot drift apart.
+fn measure_epidemic_giant_on<C>(
+    n: usize,
+    seeds: u64,
+    budget: u64,
+    make_population: impl Fn(usize) -> C + Sync,
+) -> Convergence
+where
+    C: ppfts_engine::ExecBackend<State = bool>,
+{
+    assert!(n >= 2, "population needs at least 2 agents");
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, Epidemic)
+            .population(make_population(n))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .build()
+            .expect("valid population");
+        let out = runner.run_batched_until(
+            budget,
+            GIANT_BATCH,
+            stably(|c: &C| c.count_state(&true) == n, STABLE_WINDOW),
+        );
+        (out, n as u64)
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
 /// Peak per-agent token footprint of SKnO on the Pairing workload — the
 /// measured side of Theorem 4.1's Θ(|Q_P|·(o+1)·log n) memory bound.
 pub fn skno_peak_tokens(n: usize, o: u32, steps: u64, seed: u64) -> usize {
@@ -289,6 +350,22 @@ mod tests {
         // scalar stop *is* a transient, the gap legitimately exceeds the
         // batch-alignment slack.)
         assert!(batched.mean_steps >= scalar.mean_steps);
+    }
+
+    #[test]
+    fn giant_harness_backends_agree_at_test_scale() {
+        let count = measure_epidemic_giant(2_000, 2, 50_000_000);
+        assert_eq!(count.converged, 2);
+        let dense = measure_epidemic_giant_dense(2_000, 2, 50_000_000);
+        assert_eq!(dense.converged, 2);
+        // Θ(n log n): per-agent step counts land within the same decade.
+        for c in [&count, &dense] {
+            assert!(
+                c.steps_per_simulated > 2.0 && c.steps_per_simulated < 60.0,
+                "steps per agent = {}",
+                c.steps_per_simulated
+            );
+        }
     }
 
     #[test]

@@ -225,6 +225,55 @@ impl<P: TwoWayProtocol> OneWayProgram for NamedSid<P> {
             },
         }
     }
+
+    // In-place overrides: naming updates two counters, simulation defers
+    // to SID's in-place handshake — no state construction on the no-op
+    // and counter-bump steps that dominate at scale.
+
+    /// In-place `g`: the identity, so never a change and never a clone.
+    fn on_proximity_in_place(&self, _q: &mut Self::State) -> bool {
+        false
+    }
+
+    fn on_receive_in_place(&self, s: &Self::State, r: &mut Self::State) -> bool {
+        let n = self.n as u32;
+        let (s_my, s_max) = s.observed_ids(n);
+        // D4 ablation: a gossip-silent simulating starter is invisible to
+        // naming reactors.
+        if self.gossip == GossipPolicy::Disabled && s.is_simulating() && !r.is_simulating() {
+            return false;
+        }
+        match r {
+            NamedState::Naming {
+                my_id,
+                max_id,
+                init,
+            } => {
+                // Collision rule: bump my_id when the starter shares it.
+                let mut my = *my_id;
+                if s_my == my {
+                    my += 1;
+                }
+                let max = (*max_id).max(s_max).max(my).max(s_my);
+                if max >= n {
+                    // Lemma 3: safe to start SID with our own name.
+                    *r = NamedState::Simulating {
+                        sid: SidState::new(my as u64, init.clone()),
+                    };
+                    true
+                } else {
+                    let changed = my != *my_id || max != *max_id;
+                    *my_id = my;
+                    *max_id = max;
+                    changed
+                }
+            }
+            NamedState::Simulating { sid: r_sid } => match s {
+                NamedState::Simulating { sid: s_sid } => self.sid.observe_in_place(s_sid, r_sid),
+                NamedState::Naming { .. } => false,
+            },
+        }
+    }
 }
 
 impl<Q: State> SimulatorState for NamedState<Q> {

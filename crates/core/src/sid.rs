@@ -271,6 +271,80 @@ impl<P: TwoWayProtocol> Sid<P> {
         }
         r2
     }
+
+    /// In-place form of [`observe`](Sid::observe): mutates the reactor
+    /// state directly (no clone on the no-op arm) and reports whether it
+    /// changed behaviourally. Exactly equivalent to the pure observation
+    /// followed by a compare-and-store, including the ghost commit log.
+    pub(crate) fn observe_in_place(
+        &self,
+        s: &SidState<P::State>,
+        r: &mut SidState<P::State>,
+    ) -> bool {
+        match r.phase {
+            // Lines 3–5: start pairing with an available starter.
+            SidPhase::Available if s.phase == SidPhase::Available => {
+                r.phase = SidPhase::Pairing;
+                r.other_id = Some(s.id);
+                r.other_state = Some(s.sim.clone());
+                true
+            }
+            // Lines 6–9: the starter of the simulated interaction locks.
+            SidPhase::Available
+                if s.phase == SidPhase::Pairing
+                    && s.other_id == Some(r.id)
+                    && s.other_state.as_ref() == Some(&r.sim) =>
+            {
+                let sim = self.protocol.starter_out(&r.sim, &s.sim);
+                r.phase = SidPhase::Locked;
+                r.other_id = Some(s.id);
+                r.other_state = Some(s.sim.clone());
+                r.sim = sim;
+                r.commit = Some(Commit {
+                    role: Role::Starter,
+                    partner: s.sim.clone(),
+                    partner_id: Some(s.id),
+                    seq: r.commits,
+                });
+                r.commits += 1;
+                true
+            }
+            // Lines 10–13: the reactor of the simulated interaction
+            // finishes against its *saved* partner state (see erratum).
+            SidPhase::Pairing
+                if r.other_id == Some(s.id)
+                    && s.other_id == Some(r.id)
+                    && s.phase == SidPhase::Locked =>
+            {
+                let q_s = r
+                    .other_state
+                    .take()
+                    .expect("pairing state always stores the partner state");
+                r.sim = self.protocol.reactor_out(&q_s, &r.sim);
+                r.phase = SidPhase::Available;
+                r.other_id = None;
+                r.commit = Some(Commit {
+                    role: Role::Reactor,
+                    partner: q_s,
+                    partner_id: Some(s.id),
+                    seq: r.commits,
+                });
+                r.commits += 1;
+                true
+            }
+            // Lines 14–16: rollback — the tracked partner has moved on.
+            _ if self.rollback == RollbackPolicy::Enabled
+                && r.other_id == Some(s.id)
+                && s.other_id != Some(r.id) =>
+            {
+                r.phase = SidPhase::Available;
+                r.other_id = None;
+                r.other_state = None;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 impl<P: TwoWayProtocol> OneWayProgram for Sid<P> {
@@ -281,6 +355,21 @@ impl<P: TwoWayProtocol> OneWayProgram for Sid<P> {
 
     fn on_receive(&self, s: &Self::State, r: &Self::State) -> Self::State {
         self.observe(s, r)
+    }
+
+    // In-place overrides: the handshake mutates the reactor's own fields,
+    // so a no-op observation (by far the most common step at scale) costs
+    // no state construction at all.
+
+    /// In-place `g`: the identity, so never a change and never a clone.
+    fn on_proximity_in_place(&self, _q: &mut Self::State) -> bool {
+        false
+    }
+
+    /// In-place `f`: the locking handshake applied directly to the
+    /// reactor.
+    fn on_receive_in_place(&self, s: &Self::State, r: &mut Self::State) -> bool {
+        self.observe_in_place(s, r)
     }
 }
 

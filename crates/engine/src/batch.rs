@@ -5,9 +5,16 @@
 //! out over a fixed-size thread pool (`std::thread::scope`, so the closure
 //! may borrow from the caller) and returns the per-seed results in seed
 //! order.
+//!
+//! Dispatch is a chunked index-stealing scheme: one atomic cursor over the
+//! seed list, advanced a chunk at a time. Workers claim disjoint index
+//! ranges with a single `fetch_add` — no lock, no per-task channel
+//! handshake — so giant-n sweeps (where every seed is expensive and
+//! workers finish at very different times) never serialize on a queue
+//! mutex, while the chunking keeps cursor traffic negligible for cheap
+//! seeds.
 
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of one seeded run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,39 +58,43 @@ where
     if seeds.is_empty() {
         return Vec::new();
     }
-    let (task_tx, task_rx) = mpsc::channel::<u64>();
-    let (result_tx, result_rx) = mpsc::channel::<SeedSummary<T>>();
-    for &seed in &seeds {
-        task_tx.send(seed).expect("receiver alive");
-    }
-    drop(task_tx);
-
-    // mpsc receivers are single-consumer; a Mutex turns the task queue
-    // into the shared work-stealing channel crossbeam provided.
-    let task_rx = Mutex::new(task_rx);
     let workers = threads.min(seeds.len());
+    // Chunk size balances cursor traffic against tail imbalance: a few
+    // claims per worker keeps fetch_add contention negligible while the
+    // final chunks still even out stragglers.
+    let chunk = (seeds.len() / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let mut results: Vec<SeedSummary<T>> = Vec::with_capacity(seeds.len());
     std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let task_rx = &task_rx;
-            let result_tx = result_tx.clone();
+            let cursor = &cursor;
+            let seeds = &seeds;
             let f = &f;
-            scope.spawn(move || loop {
-                let next = task_rx.lock().expect("queue poisoned").recv();
-                match next {
-                    Ok(seed) => {
-                        let value = f(seed);
-                        if result_tx.send(SeedSummary { seed, value }).is_err() {
-                            break;
-                        }
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= seeds.len() {
+                        break;
                     }
-                    Err(_) => break,
+                    let end = (start + chunk).min(seeds.len());
+                    for &seed in &seeds[start..end] {
+                        local.push(SeedSummary {
+                            seed,
+                            value: f(seed),
+                        });
+                    }
                 }
-            });
+                local
+            }));
         }
-        drop(result_tx);
+        for handle in handles {
+            results.extend(handle.join().expect("worker panicked"));
+        }
     });
 
-    let mut results: Vec<SeedSummary<T>> = result_rx.into_iter().collect();
     results.sort_by_key(|s| s.seed);
     results
 }
@@ -124,5 +135,30 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         let _ = run_seeds([1], 0, |s| s);
+    }
+
+    #[test]
+    fn chunked_dispatch_covers_every_seed_exactly_once() {
+        // 100 seeds over 4 workers exercises multiple chunk claims per
+        // worker (chunk = 100 / 32 = 3) including the ragged tail.
+        let out = run_seeds(0..100, 4, |s| s * 2);
+        assert_eq!(out.len(), 100);
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s.seed, i as u64);
+            assert_eq!(s.value, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn imbalanced_seed_durations_still_complete() {
+        // Early seeds sleep, late seeds are instant: stealing lets the
+        // fast workers drain the tail while the slow ones finish.
+        let out = run_seeds(0..16, 4, |s| {
+            if s < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            s
+        });
+        assert_eq!(out.len(), 16);
     }
 }

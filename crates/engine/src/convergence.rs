@@ -8,7 +8,7 @@
 //! heuristic, plus the [`stably`] predicate combinator that makes
 //! sampled convergence checks quiescence-aware.
 
-use ppfts_population::{Configuration, Multiset, State};
+use ppfts_population::{Multiset, Population, State};
 
 use crate::{
     outcome, OneWayFault, OneWayModel, OneWayProgram, TwoWayFault, TwoWayModel, TwoWayProgram,
@@ -39,7 +39,7 @@ use crate::{
 pub fn silent_two_way<P: TwoWayProgram>(
     model: TwoWayModel,
     program: &P,
-    config: &Configuration<P::State>,
+    config: &impl Population<State = P::State>,
 ) -> bool {
     let counts = config.counts();
     silent_over_pairs(&counts, |s, r| {
@@ -57,7 +57,7 @@ pub fn silent_two_way<P: TwoWayProgram>(
 pub fn silent_one_way<P: OneWayProgram>(
     model: OneWayModel,
     program: &P,
-    config: &Configuration<P::State>,
+    config: &impl Population<State = P::State>,
 ) -> bool {
     let faults: &[OneWayFault] = if model.allows_omissions() {
         &[OneWayFault::None, OneWayFault::Omission]
@@ -135,10 +135,7 @@ pub fn permitted_two_way_faults(model: TwoWayModel) -> &'static [TwoWayFault] {
 /// # Panics
 ///
 /// Panics if `window` is zero.
-pub fn stably<Q: State>(
-    mut predicate: impl FnMut(&Configuration<Q>) -> bool,
-    window: u64,
-) -> impl FnMut(&Configuration<Q>) -> bool {
+pub fn stably<C>(mut predicate: impl FnMut(&C) -> bool, window: u64) -> impl FnMut(&C) -> bool {
     assert!(window > 0, "stability window must be positive");
     let mut streak = 0u64;
     move |config| {
@@ -154,7 +151,7 @@ pub fn stably<Q: State>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppfts_population::FunctionProtocol;
+    use ppfts_population::{Configuration, FunctionProtocol};
 
     fn epidemic() -> impl TwoWayProgram<State = bool> {
         FunctionProtocol::new(|s: &bool, r: &bool| *s || *r, |s: &bool, r: &bool| *s || *r)

@@ -44,6 +44,15 @@ pub enum EngineError {
     },
     /// An underlying population operation failed.
     Population(PopulationError),
+    /// The operation attributes interactions to individual agents, which
+    /// a count-based population backend cannot do. Per-agent records
+    /// ([`step`](crate::OneWayRunner::step), recording
+    /// [`TraceSink`](crate::TraceSink)s) and planned interaction
+    /// sequences require the dense backend.
+    PerAgentBackendRequired {
+        /// The per-agent operation that was attempted.
+        operation: &'static str,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -62,6 +71,13 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::Population(e) => write!(f, "population error: {e}"),
+            EngineError::PerAgentBackendRequired { operation } => {
+                write!(
+                    f,
+                    "{operation} requires a per-agent (dense) population backend; \
+                     the count backend stores state multiplicities only"
+                )
+            }
         }
     }
 }

@@ -25,7 +25,13 @@
 //! * [`OneWayRunner`], [`TwoWayRunner`] — deterministic, seedable execution
 //!   drivers with pluggable [`TraceSink`]s, scalar and batched stepping
 //!   (seed-equivalent; see `run_batched`), planned-prefix execution (used
-//!   by the paper's adversarial constructions) and convergence helpers,
+//!   by the paper's adversarial constructions) and convergence helpers.
+//!   Runners are generic over the population backend ([`ExecBackend`]):
+//!   the dense per-agent `Configuration` (default, full per-agent
+//!   machinery) or the count-based
+//!   [`CountConfiguration`](ppfts_population::CountConfiguration)
+//!   (state multiplicities only — anonymous protocols at n = 10⁶ and
+//!   beyond on the batched `StatsOnly` path),
 //! * [`TraceSink`] with [`FullTrace`], [`SampledTrace`], [`StatsOnly`] —
 //!   what, if anything, each executed step leaves behind,
 //! * [`convergence`] — exact silence checks and the quiescence-aware
@@ -61,6 +67,7 @@
 #![warn(missing_docs)]
 
 mod adversary;
+mod backend;
 mod batch;
 pub mod convergence;
 mod embed;
@@ -79,6 +86,7 @@ pub use adversary::{
     AtMostOneStrategy, BoundedStrategy, BurstStrategy, HorizonStrategy, NoOmissions,
     OmissionStrategy, RateStrategy, ScriptedOmissions, SidePolicy,
 };
+pub use backend::ExecBackend;
 pub use batch::{run_seeds, SeedSummary};
 pub use embed::EmbedOneWay;
 pub use error::EngineError;

@@ -33,9 +33,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::{
-    outcome, EngineError, FullTrace, NoOmissions, OmissionStrategy, OneWayFault, OneWayModel,
-    OneWayProgram, RunStats, Scheduler, SidePolicy, StepRecord, Trace, TraceSink, TwoWayFault,
-    TwoWayModel, TwoWayProgram, UniformScheduler,
+    outcome, EngineError, ExecBackend, FullTrace, NoOmissions, OmissionStrategy, OneWayFault,
+    OneWayModel, OneWayProgram, RunStats, Scheduler, SidePolicy, StepRecord, Trace, TraceSink,
+    TwoWayFault, TwoWayModel, TwoWayProgram, UniformScheduler,
 };
 
 /// One pre-planned step: an interaction and its fault decoration.
@@ -87,6 +87,16 @@ impl Planned<OneWayFault> {
     }
 }
 
+/// One drawn-but-not-yet-applied step of a batch: a backend pair address
+/// plus its fault decoration. The backend-generic sibling of [`Planned`],
+/// which stays per-agent because planned sequences are authored in terms
+/// of [`Interaction`]s.
+#[derive(Clone, Debug)]
+struct Drawn<Pr, F> {
+    pair: Pr,
+    fault: F,
+}
+
 /// Result of [`run_until`](OneWayRunner::run_until).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -135,10 +145,11 @@ macro_rules! runner_impl {
             S = UniformScheduler,
             A = NoOmissions,
             T = FullTrace<<P as $Program>::State, $Fault>,
+            C = Configuration<<P as $Program>::State>,
         > {
             model: $Model,
             program: P,
-            config: Configuration<P::State>,
+            config: C,
             scheduler: S,
             adversary: A,
             // Consulted only by the two-way expansion of this macro.
@@ -166,12 +177,13 @@ macro_rules! runner_impl {
             }
         }
 
-        impl<P, S, A, T> $Runner<P, S, A, T>
+        impl<P, S, A, T, C> $Runner<P, S, A, T, C>
         where
             P: $Program,
             S: Scheduler,
             A: OmissionStrategy,
             T: TraceSink<P::State, $Fault>,
+            C: ExecBackend<State = <P as $Program>::State>,
         {
             /// The interaction model in force.
             pub fn model(&self) -> $Model {
@@ -183,13 +195,15 @@ macro_rules! runner_impl {
                 &self.program
             }
 
-            /// The current configuration.
-            pub fn config(&self) -> &Configuration<P::State> {
+            /// The current population (dense [`Configuration`] by
+            /// default; see the builder's `population` method for the
+            /// count backend).
+            pub fn config(&self) -> &C {
                 &self.config
             }
 
-            /// Consumes the runner, returning the final configuration.
-            pub fn into_config(self) -> Configuration<P::State> {
+            /// Consumes the runner, returning the final population.
+            pub fn into_config(self) -> C {
                 self.config
             }
 
@@ -226,22 +240,31 @@ macro_rules! runner_impl {
 
             fn execute(
                 &mut self,
-                interaction: Interaction,
+                pair: C::Pair,
                 fault: $Fault,
                 want_record: bool,
             ) -> Result<Option<StepRecord<P::State, $Fault>>, EngineError> {
                 if !want_record && self.sink.is_passive() {
-                    return self.execute_in_place(interaction, fault).map(|()| None);
+                    return self.execute_in_place(&pair, fault).map(|()| None);
                 }
+                // Records attribute the step to two agents, which only
+                // per-agent backends can do.
+                let interaction = C::interaction_of(&pair).ok_or(
+                    EngineError::PerAgentBackendRequired {
+                        operation: "building step records",
+                    },
+                )?;
                 let (new_s, new_r) = {
-                    let ($s, $r) = self.config.pair_states(interaction)?;
+                    let ($s, $r) = self.config.pair_states(&pair)?;
                     let $model_ = self.model;
                     let $program_ = &self.program;
                     let $fault_ = fault;
                     $compute?
                 };
-                let changed = new_s != *self.config.state(interaction.starter())
-                    || new_r != *self.config.state(interaction.reactor());
+                let changed = {
+                    let (s, r) = self.config.pair_states(&pair)?;
+                    new_s != *s || new_r != *r
+                };
                 let omissive = is_omissive(&fault);
                 let index = self.next_index;
                 self.next_index += 1;
@@ -251,13 +274,13 @@ macro_rules! runner_impl {
                     // Zero-clone fast path: nobody needs the record, and
                     // an unchanged pair needs no write either.
                     if changed {
-                        self.config.write_pair(interaction, (new_s, new_r))?;
+                        self.config.commit_pair(&pair, (new_s, new_r))?;
                     }
                     return Ok(None);
                 }
                 let (old_starter, old_reactor) = self
                     .config
-                    .write_pair(interaction, (new_s.clone(), new_r.clone()))?;
+                    .commit_pair(&pair, (new_s.clone(), new_r.clone()))?;
                 let record = StepRecord {
                     index,
                     interaction,
@@ -286,16 +309,22 @@ macro_rules! runner_impl {
             /// at all for programs that override them.
             fn execute_in_place(
                 &mut self,
-                interaction: Interaction,
+                pair: &C::Pair,
                 fault: $Fault,
             ) -> Result<(), EngineError> {
-                let (s_changed, r_changed) = {
-                    let ($fs, $fr) = self.config.pair_states_mut(interaction)?;
-                    let $fmodel = self.model;
-                    let $fprogram = &self.program;
+                let $Runner {
+                    model,
+                    program,
+                    config,
+                    ..
+                } = self;
+                let model = *model;
+                let (s_changed, r_changed) = config.update_pair(pair, |$fs, $fr| {
+                    let $fmodel = model;
+                    let $fprogram = &*program;
                     let $ffault = fault;
-                    $fast?
-                };
+                    $fast
+                })?;
                 self.next_index += 1;
                 self.stats
                     .record(is_omissive(&fault), s_changed || r_changed);
@@ -321,11 +350,10 @@ macro_rules! runner_impl {
             /// model's permitted faults) and bounds errors from custom
             /// schedulers.
             pub fn step(&mut self) -> Result<StepRecord<P::State, $Fault>, EngineError> {
-                let n = self.config.len();
-                let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
                 let fault = self.next_fault();
                 Ok(self
-                    .execute(interaction, fault, true)?
+                    .execute(pair, fault, true)?
                     .expect("record requested"))
             }
 
@@ -337,35 +365,36 @@ macro_rules! runner_impl {
             /// Same conditions as [`step`](Self::step).
             pub fn run(&mut self, steps: u64) -> Result<(), EngineError> {
                 for _ in 0..steps {
-                    let n = self.config.len();
-                    let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                    let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
                     let fault = self.next_fault();
-                    self.execute(interaction, fault, false)?;
+                    self.execute(pair, fault, false)?;
                 }
                 Ok(())
             }
 
             /// Fills `plan` with the next `take` scheduled steps, drawing
-            /// the interaction and then the fault of each step in exactly
-            /// the order the scalar loop would, so batched and scalar runs
+            /// the pair and then the fault of each step in exactly the
+            /// order the scalar loop would, so batched and scalar runs
             /// consume the shared RNG stream identically.
-            fn draw_batch(&mut self, plan: &mut Vec<Planned<$Fault>>, take: u64) {
+            fn draw_batch(&mut self, plan: &mut Vec<Drawn<C::Pair, $Fault>>, take: u64) {
                 plan.clear();
-                let n = self.config.len();
                 for k in 0..take {
-                    let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                    let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
                     let fault = self.decide_fault(self.next_index + k);
-                    plan.push(Planned::new(interaction, fault));
+                    plan.push(Drawn { pair, fault });
                 }
             }
 
             /// Applies a drawn batch. With a passive sink this runs the
             /// tight loop: endpoint states mutate in place, no clones, no
             /// records.
-            fn apply_batch_plan(&mut self, plan: &[Planned<$Fault>]) -> Result<(), EngineError> {
+            fn apply_batch_plan(
+                &mut self,
+                plan: &[Drawn<C::Pair, $Fault>],
+            ) -> Result<(), EngineError> {
                 if !self.sink.is_passive() {
                     for p in plan {
-                        self.execute(p.interaction, p.fault, false)?;
+                        self.execute(p.pair.clone(), p.fault, false)?;
                     }
                     return Ok(());
                 }
@@ -379,15 +408,15 @@ macro_rules! runner_impl {
                 } = self;
                 let model = *model;
                 for p in plan {
-                    let (s_changed, r_changed) = {
-                        let ($fs, $fr) = config.pair_states_mut(p.interaction)?;
+                    let fault = p.fault;
+                    let (s_changed, r_changed) = config.update_pair(&p.pair, |$fs, $fr| {
                         let $fmodel = model;
                         let $fprogram = &*program;
-                        let $ffault = p.fault;
-                        $fast?
-                    };
+                        let $ffault = fault;
+                        $fast
+                    })?;
                     *next_index += 1;
-                    stats.record(is_omissive(&p.fault), s_changed || r_changed);
+                    stats.record(is_omissive(&fault), s_changed || r_changed);
                 }
                 Ok(())
             }
@@ -415,6 +444,13 @@ macro_rules! runner_impl {
             /// Panics if `batch` is zero.
             pub fn run_batched(&mut self, steps: u64, batch: u64) -> Result<(), EngineError> {
                 assert!(batch > 0, "batch size must be positive");
+                if !C::STABLE_PAIRS {
+                    // State-addressed pairs (count backend) must see the
+                    // counts every earlier step produced: draw and apply
+                    // interleaved — the exact sequential law, same RNG
+                    // order as the scalar loop.
+                    return self.run(steps);
+                }
                 let mut plan = Vec::with_capacity(batch.min(steps) as usize);
                 let mut remaining = steps;
                 while remaining > 0 {
@@ -426,13 +462,13 @@ macro_rules! runner_impl {
                 Ok(())
             }
 
-            /// Runs until `predicate` holds on the configuration (checked
+            /// Runs until `predicate` holds on the population (checked
             /// before the first step and after every step) or `max_steps`
             /// further interactions have executed.
             pub fn run_until(
                 &mut self,
                 max_steps: u64,
-                mut predicate: impl FnMut(&Configuration<P::State>) -> bool,
+                mut predicate: impl FnMut(&C) -> bool,
             ) -> RunOutcome {
                 if predicate(&self.config) {
                     return RunOutcome::Satisfied {
@@ -440,10 +476,9 @@ macro_rules! runner_impl {
                     };
                 }
                 for _ in 0..max_steps {
-                    let n = self.config.len();
-                    let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                    let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
                     let fault = self.next_fault();
-                    if self.execute(interaction, fault, false).is_err() {
+                    if self.execute(pair, fault, false).is_err() {
                         break;
                     }
                     if predicate(&self.config) {
@@ -478,7 +513,7 @@ macro_rules! runner_impl {
                 &mut self,
                 max_steps: u64,
                 batch: u64,
-                mut predicate: impl FnMut(&Configuration<P::State>) -> bool,
+                mut predicate: impl FnMut(&C) -> bool,
             ) -> RunOutcome {
                 assert!(batch > 0, "batch size must be positive");
                 if predicate(&self.config) {
@@ -486,13 +521,26 @@ macro_rules! runner_impl {
                         steps: self.next_index,
                     };
                 }
-                let mut plan = Vec::with_capacity(batch.min(max_steps) as usize);
+                let plan_capacity = if C::STABLE_PAIRS {
+                    batch.min(max_steps) as usize
+                } else {
+                    0
+                };
+                let mut plan = Vec::with_capacity(plan_capacity);
                 let mut remaining = max_steps;
                 while remaining > 0 {
                     let take = remaining.min(batch);
-                    self.draw_batch(&mut plan, take);
-                    if self.apply_batch_plan(&plan).is_err() {
-                        break;
+                    if C::STABLE_PAIRS {
+                        self.draw_batch(&mut plan, take);
+                        if self.apply_batch_plan(&plan).is_err() {
+                            break;
+                        }
+                    } else {
+                        // Interleaved draw-and-apply (see `run_batched`):
+                        // batching amortizes only the predicate here.
+                        if self.run(take).is_err() {
+                            break;
+                        }
                     }
                     remaining -= take;
                     if predicate(&self.config) {
@@ -519,11 +567,10 @@ macro_rules! runner_impl {
             pub fn run_until_stable(&mut self, max_steps: u64, window: u64) -> RunOutcome {
                 let mut quiet = 0u64;
                 for _ in 0..max_steps {
-                    let n = self.config.len();
-                    let interaction = self.scheduler.next_interaction(n, &mut self.rng);
+                    let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
                     let fault = self.next_fault();
                     let before = self.stats.changed_steps;
-                    if self.execute(interaction, fault, false).is_err() {
+                    if self.execute(pair, fault, false).is_err() {
                         break;
                     }
                     if self.stats.changed_steps > before {
@@ -557,7 +604,8 @@ macro_rules! runner_impl {
                 plan: impl IntoIterator<Item = Planned<$Fault>>,
             ) -> Result<(), EngineError> {
                 for p in plan {
-                    self.execute(p.interaction, p.fault, false)?;
+                    let pair = self.config.pair_of(p.interaction)?;
+                    self.execute(pair, p.fault, false)?;
                 }
                 Ok(())
             }
@@ -569,10 +617,11 @@ macro_rules! runner_impl {
             S = UniformScheduler,
             A = NoOmissions,
             T = FullTrace<<P as $Program>::State, $Fault>,
+            C = Configuration<<P as $Program>::State>,
         > {
             model: $Model,
             program: P,
-            config: Option<Configuration<P::State>>,
+            config: Option<C>,
             scheduler: S,
             adversary: A,
             side_policy: SidePolicy,
@@ -580,21 +629,53 @@ macro_rules! runner_impl {
             sink: T,
         }
 
-        impl<P, S, A, T> $Builder<P, S, A, T>
+        impl<P, S, A, T, C> $Builder<P, S, A, T, C>
         where
             P: $Program,
             S: Scheduler,
             A: OmissionStrategy,
             T: TraceSink<P::State, $Fault>,
+            C: ExecBackend<State = <P as $Program>::State>,
         {
-            /// Sets the initial configuration (required).
-            pub fn config(mut self, config: Configuration<P::State>) -> Self {
+            /// Sets the initial population without changing the backend
+            /// type (required unless [`population`](Self::population) is
+            /// used; the default backend is the dense [`Configuration`]).
+            pub fn config(mut self, config: C) -> Self {
                 self.config = Some(config);
                 self
             }
 
+            /// Sets the initial population *and* selects its backend —
+            /// e.g. a [`CountConfiguration`] for giant anonymous runs.
+            ///
+            /// Count-backed runners support the full batched measurement
+            /// surface (`run*`, `run_batched*`, [`StatsOnly`] sinks,
+            /// every omission adversary) but no per-agent operations:
+            /// assembling one with a recording sink or a non-uniform
+            /// scheduler fails at `build()` with
+            /// [`EngineError::PerAgentBackendRequired`], and `step` /
+            /// `apply_planned` report the same error when called.
+            ///
+            /// [`CountConfiguration`]: ppfts_population::CountConfiguration
+            /// [`StatsOnly`]: crate::StatsOnly
+            pub fn population<C2: ExecBackend<State = <P as $Program>::State>>(
+                self,
+                population: C2,
+            ) -> $Builder<P, S, A, T, C2> {
+                $Builder {
+                    model: self.model,
+                    program: self.program,
+                    config: Some(population),
+                    scheduler: self.scheduler,
+                    adversary: self.adversary,
+                    side_policy: self.side_policy,
+                    seed: self.seed,
+                    sink: self.sink,
+                }
+            }
+
             /// Replaces the scheduler (default: [`UniformScheduler`]).
-            pub fn scheduler<S2: Scheduler>(self, scheduler: S2) -> $Builder<P, S2, A, T> {
+            pub fn scheduler<S2: Scheduler>(self, scheduler: S2) -> $Builder<P, S2, A, T, C> {
                 $Builder {
                     model: self.model,
                     program: self.program,
@@ -610,7 +691,10 @@ macro_rules! runner_impl {
             /// Replaces the omission adversary (default: [`NoOmissions`]).
             /// Only consulted when the model's relation has omissive
             /// outcomes.
-            pub fn adversary<A2: OmissionStrategy>(self, adversary: A2) -> $Builder<P, S, A2, T> {
+            pub fn adversary<A2: OmissionStrategy>(
+                self,
+                adversary: A2,
+            ) -> $Builder<P, S, A2, T, C> {
                 $Builder {
                     model: self.model,
                     program: self.program,
@@ -632,7 +716,7 @@ macro_rules! runner_impl {
             pub fn trace_sink<T2: TraceSink<P::State, $Fault>>(
                 self,
                 sink: T2,
-            ) -> $Builder<P, S, A, T2> {
+            ) -> $Builder<P, S, A, T2, C> {
                 $Builder {
                     model: self.model,
                     program: self.program,
@@ -663,11 +747,30 @@ macro_rules! runner_impl {
             /// # Errors
             ///
             /// Returns [`EngineError::InvalidPopulation`] if no
-            /// configuration was supplied or it has fewer than two agents.
-            pub fn build(self) -> Result<$Runner<P, S, A, T>, EngineError> {
-                let config = self.config.unwrap_or_else(|| Configuration::new(vec![]));
+            /// population was supplied or it has fewer than two agents,
+            /// and [`EngineError::PerAgentBackendRequired`] when a
+            /// backend without agent identities (the count backend) is
+            /// assembled with a recording trace sink or a non-uniform
+            /// scheduler — both need to address agents by index, so the
+            /// mismatch is rejected here rather than mid-run.
+            pub fn build(self) -> Result<$Runner<P, S, A, T, C>, EngineError> {
+                let config = self
+                    .config
+                    .ok_or(EngineError::InvalidPopulation { len: 0 })?;
                 if config.len() < 2 {
                     return Err(EngineError::InvalidPopulation { len: config.len() });
+                }
+                if !C::PER_AGENT {
+                    if !self.sink.is_passive() {
+                        return Err(EngineError::PerAgentBackendRequired {
+                            operation: "recording trace sinks",
+                        });
+                    }
+                    if !self.scheduler.is_uniform() {
+                        return Err(EngineError::PerAgentBackendRequired {
+                            operation: "index-addressed (non-uniform) scheduling",
+                        });
+                    }
                 }
                 Ok($Runner {
                     model: self.model,
@@ -684,7 +787,7 @@ macro_rules! runner_impl {
             }
         }
 
-        impl<P, S, A> $Builder<P, S, A, FullTrace<<P as $Program>::State, $Fault>>
+        impl<P, S, A, C> $Builder<P, S, A, FullTrace<<P as $Program>::State, $Fault>, C>
         where
             P: $Program,
             S: Scheduler,
@@ -1085,6 +1188,125 @@ mod tests {
         let rec = runner.step().unwrap();
         assert_eq!(rec.fault, TwoWayFault::Reactor);
         assert_eq!(runner.config().as_slice(), &['s', 'p']);
+    }
+
+    #[test]
+    fn count_backend_runs_the_full_batched_surface() {
+        use ppfts_population::CountConfiguration;
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, pairing())
+            .population(CountConfiguration::from_groups([('c', 40), ('p', 60)]))
+            .seed(5)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(
+            10_000_000,
+            256,
+            crate::convergence::stably(|c: &CountConfiguration<char>| c.count_state(&'s') == 40, 2),
+        );
+        assert!(out.is_satisfied());
+        // Pairing safety invariants hold on counts exactly as on agents.
+        assert_eq!(runner.config().count_state(&'s'), 40);
+        assert_eq!(runner.config().count_state(&'_'), 40);
+        assert_eq!(runner.config().count_state(&'c'), 0);
+        assert_eq!(runner.config().count_state(&'p'), 20);
+        assert_eq!(runner.config().len(), 100);
+        assert_eq!(runner.stats().steps, out.steps());
+    }
+
+    #[test]
+    fn count_backend_handles_one_way_omissive_models() {
+        use ppfts_population::CountConfiguration;
+        let mut runner = OneWayRunner::builder(OneWayModel::I3, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, 63)]))
+            .adversary(RateStrategy::new(0.2))
+            .seed(11)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(1_000_000, 64, |c: &CountConfiguration<bool>| {
+            c.count_state(&true) == 64
+        });
+        assert!(out.is_satisfied(), "omissions only delay the epidemic");
+        assert!(runner.stats().omissive_steps > 0);
+    }
+
+    #[test]
+    fn count_backend_rejects_per_agent_operations() {
+        use ppfts_population::CountConfiguration;
+        let build = || {
+            OneWayRunner::builder(OneWayModel::Io, Epidemic)
+                .population(CountConfiguration::from_groups([(true, 1), (false, 3)]))
+                .trace_sink(StatsOnly)
+                .build()
+                .unwrap()
+        };
+        // `step` builds a record, which needs agent identities.
+        let err = build().step().unwrap_err();
+        assert!(matches!(err, EngineError::PerAgentBackendRequired { .. }));
+        // Planned sequences address agents by index.
+        let err = build()
+            .apply_planned([Planned::ok(Interaction::new(0, 1).unwrap())])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::PerAgentBackendRequired { .. }));
+        // A recording sink would want records that name agents; the
+        // mismatch is rejected when the runner is assembled.
+        let err = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, 3)]))
+            .trace_sink(FullTrace::<bool, OneWayFault>::new())
+            .build()
+            .err()
+            .expect("recording sink on counts must not build");
+        assert!(matches!(err, EngineError::PerAgentBackendRequired { .. }));
+        // So is an index-addressed scheduler.
+        let err = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, 3)]))
+            .scheduler(crate::RoundRobinScheduler::new())
+            .trace_sink(StatsOnly)
+            .build()
+            .err()
+            .expect("non-uniform scheduler on counts must not build");
+        assert!(matches!(err, EngineError::PerAgentBackendRequired { .. }));
+        // The disabled-FullTrace default is passive and builds fine.
+        assert!(OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, 3)]))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn count_backend_run_batched_equals_scalar_run() {
+        use ppfts_population::CountConfiguration;
+        let run = |batched: Option<u64>| {
+            let mut r = TwoWayRunner::builder(TwoWayModel::T1, pairing())
+                .population(CountConfiguration::from_groups([('c', 5), ('p', 5)]))
+                .adversary(RateStrategy::new(0.25))
+                .seed(13)
+                .trace_sink(StatsOnly)
+                .build()
+                .unwrap();
+            match batched {
+                Some(b) => r.run_batched(400, b).unwrap(),
+                None => r.run(400).unwrap(),
+            }
+            (r.config().clone(), r.stats())
+        };
+        let scalar = run(None);
+        for batch in [1, 32, 400] {
+            assert_eq!(run(Some(batch)), scalar, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_tiny_count_populations() {
+        use ppfts_population::CountConfiguration;
+        let err = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1)]))
+            .build();
+        assert!(matches!(
+            err,
+            Err(EngineError::InvalidPopulation { len: 1 })
+        ));
     }
 
     #[test]

@@ -30,11 +30,28 @@ pub trait Scheduler {
     /// Implementations may panic if `n < 2`; runners validate population
     /// size at construction.
     fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction;
+
+    /// Whether this scheduler's law is the uniform ordered-pair
+    /// distribution, *stateless* in the agent indices it deals.
+    ///
+    /// Count-based population backends
+    /// ([`CountConfiguration`](ppfts_population::CountConfiguration))
+    /// have no agent identities, so they realize the interaction
+    /// distribution directly from state counts — which is only possible
+    /// for the uniform law. Schedulers that script, rotate, or otherwise
+    /// distinguish agents must leave this at the default `false`; a
+    /// count-backed runner refuses (panics) to draw from them.
+    fn is_uniform(&self) -> bool {
+        false
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction {
         (**self).next_interaction(n, rng)
+    }
+    fn is_uniform(&self) -> bool {
+        (**self).is_uniform()
     }
 }
 
@@ -72,6 +89,10 @@ impl Scheduler for UniformScheduler {
             r += 1;
         }
         Interaction::new(s, r).expect("distinct by construction")
+    }
+
+    fn is_uniform(&self) -> bool {
+        true
     }
 }
 

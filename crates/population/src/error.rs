@@ -33,6 +33,17 @@ pub enum PopulationError {
         /// The index that appeared as both starter and reactor.
         agent: usize,
     },
+    /// A count-level operation needed more copies of a state than the
+    /// population holds (e.g. replaying a self-pair of a state with a
+    /// single copy onto a [`CountConfiguration`](crate::CountConfiguration)).
+    StateUnderflow {
+        /// Debug rendering of the state whose count fell short.
+        state: String,
+        /// Copies the operation required.
+        needed: usize,
+        /// Copies actually present.
+        available: usize,
+    },
 }
 
 impl fmt::Display for PopulationError {
@@ -52,6 +63,16 @@ impl fmt::Display for PopulationError {
             }
             PopulationError::SelfInteraction { agent } => {
                 write!(f, "agent {agent} cannot interact with itself")
+            }
+            PopulationError::StateUnderflow {
+                state,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "state {state} has {available} cop(ies) but the operation needs {needed}"
+                )
             }
         }
     }

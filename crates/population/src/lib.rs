@@ -12,7 +12,12 @@
 //!
 //! * [`AgentId`] — index of an agent within a population,
 //! * [`Interaction`] — an ordered (starter, reactor) pair,
-//! * [`Configuration`] — the vector of local states of all agents,
+//! * [`Population`] — the storage-backend abstraction over agent
+//!   populations, with two implementations:
+//!   [`DenseConfiguration`] (alias [`Configuration`]) — the vector of
+//!   local states of all agents — and [`CountConfiguration`] — state
+//!   multiplicities only, O(distinct states) memory for giant anonymous
+//!   runs,
 //! * [`Multiset`] — order-insensitive view of a configuration,
 //! * [`TwoWayProtocol`] — the transition function `δ_P` of a protocol in the
 //!   standard two-way model,
@@ -51,18 +56,22 @@
 
 mod agent;
 mod config;
+mod count;
 mod error;
 mod interaction;
 mod multiset;
+mod population;
 mod protocol;
 mod semantics;
 mod state;
 
 pub use agent::AgentId;
-pub use config::Configuration;
+pub use config::{Configuration, DenseConfiguration};
+pub use count::CountConfiguration;
 pub use error::PopulationError;
 pub use interaction::Interaction;
 pub use multiset::Multiset;
+pub use population::Population;
 pub use protocol::{DeltaRule, FunctionProtocol, SymmetryReport, TableProtocol, TwoWayProtocol};
-pub use semantics::{unanimous_output, ConsensusOutput, Semantics};
+pub use semantics::{unanimous_output, unanimous_output_counts, ConsensusOutput, Semantics};
 pub use state::{EnumerableStates, State};

@@ -146,6 +146,50 @@ impl<Q: State> TableProtocol<Q> {
         }
     }
 
+    /// Compiles any enumerable protocol into an explicit rule table by
+    /// evaluating `δ` on every ordered state pair — the *port* that runs
+    /// the classic protocol library on either population backend with
+    /// table-lookup transitions.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ppfts_population::{EnumerableStates, TableProtocol, TwoWayProtocol};
+    ///
+    /// /// Max of two bits, as a hand-written protocol.
+    /// struct OrBit;
+    /// impl TwoWayProtocol for OrBit {
+    ///     type State = bool;
+    ///     fn delta(&self, s: &bool, r: &bool) -> (bool, bool) {
+    ///         (*s || *r, *s || *r)
+    ///     }
+    /// }
+    /// impl EnumerableStates for OrBit {
+    ///     type State = bool;
+    ///     fn states(&self) -> Vec<bool> { vec![false, true] }
+    /// }
+    ///
+    /// let table = TableProtocol::from_protocol(&OrBit);
+    /// assert_eq!(table.delta(&false, &true), OrBit.delta(&false, &true));
+    /// assert_eq!(table.rule_count(), 2); // (t,f) and (f,t); identities elided
+    /// ```
+    pub fn from_protocol<P>(protocol: &P) -> TableProtocol<Q>
+    where
+        P: TwoWayProtocol<State = Q> + EnumerableStates<State = Q>,
+    {
+        let states = protocol.states();
+        let mut rules = HashMap::new();
+        for s in &states {
+            for r in &states {
+                let (s2, r2) = protocol.delta(s, r);
+                if s2 != *s || r2 != *r {
+                    rules.insert((s.clone(), r.clone()), (s2, r2));
+                }
+            }
+        }
+        TableProtocol { states, rules }
+    }
+
     /// The explicit (non-identity) rules of the table.
     pub fn rules(&self) -> impl Iterator<Item = DeltaRule<Q>> + '_ {
         self.rules

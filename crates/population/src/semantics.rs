@@ -7,7 +7,7 @@
 //! `ppfts-verify` and by the simulators' end-to-end tests: a simulated
 //! protocol must stabilize to the *same* output it would produce natively.
 
-use crate::{Configuration, State, TwoWayProtocol};
+use crate::{Configuration, CountConfiguration, Multiset, State, TwoWayProtocol};
 
 /// Input/output semantics of a computing protocol.
 ///
@@ -65,6 +65,14 @@ pub trait Semantics: TwoWayProtocol {
     fn initial_configuration(&self, inputs: &[Self::Input]) -> Configuration<Self::State> {
         inputs.iter().map(|i| self.encode(i)).collect()
     }
+
+    /// The initial *count-backed* population for the given input vector —
+    /// the same encoding as
+    /// [`initial_configuration`](Semantics::initial_configuration), stored
+    /// as state multiplicities for giant-n anonymous runs.
+    fn initial_counts(&self, inputs: &[Self::Input]) -> CountConfiguration<Self::State> {
+        inputs.iter().map(|i| self.encode(i)).collect()
+    }
 }
 
 /// The consensus output of a configuration, if the agents agree.
@@ -90,6 +98,33 @@ pub fn unanimous_output<Q: State, Y: PartialEq>(
     let mut agents = config.as_slice().iter();
     let first = output(agents.next()?);
     for q in agents {
+        if output(q) != first {
+            return None;
+        }
+    }
+    Some(first)
+}
+
+/// The consensus output of a state *multiset*, if the agents agree —
+/// the count-backend sibling of [`unanimous_output`], O(distinct states)
+/// instead of O(n).
+///
+/// # Example
+///
+/// ```
+/// use ppfts_population::{unanimous_output_counts, CountConfiguration, Population};
+///
+/// let c = CountConfiguration::from_groups([(2u8, 500_000), (4u8, 500_000)]);
+/// assert_eq!(unanimous_output_counts(&c.counts(), |q| *q % 2), Some(0));
+/// assert_eq!(unanimous_output_counts(&c.counts(), |q| *q), None);
+/// ```
+pub fn unanimous_output_counts<Q: State, Y: PartialEq>(
+    counts: &Multiset<Q>,
+    mut output: impl FnMut(&Q) -> Y,
+) -> Option<Y> {
+    let mut states = counts.states();
+    let first = output(states.next()?);
+    for q in states {
         if output(q) != first {
             return None;
         }

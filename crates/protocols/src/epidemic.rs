@@ -98,4 +98,27 @@ mod tests {
         let c = Epidemic.initial_configuration(&[false, false]);
         assert_eq!(unanimous_output(&c, |q| Epidemic.output(q)), Some(false));
     }
+
+    #[test]
+    fn table_port_runs_on_the_count_backend() {
+        use ppfts_engine::StatsOnly;
+        use ppfts_population::{CountConfiguration, TableProtocol};
+        let table = TableProtocol::from_protocol(&Epidemic);
+        for s in [false, true] {
+            for r in [false, true] {
+                assert_eq!(table.delta(&s, &r), Epidemic.delta(&s, &r));
+            }
+        }
+        let n = 500;
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, table)
+            .population(CountConfiguration::from_groups([(true, 1), (false, n - 1)]))
+            .seed(9)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(2_000_000, 256, |c: &CountConfiguration<bool>| {
+            c.count_state(&true) == n
+        });
+        assert!(out.is_satisfied());
+    }
 }

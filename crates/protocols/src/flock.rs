@@ -225,4 +225,39 @@ mod tests {
     fn zero_threshold_rejected() {
         let _ = FlockOfBirds::new(0);
     }
+
+    #[test]
+    fn table_port_runs_on_the_count_backend() {
+        use ppfts_engine::convergence::stably;
+        use ppfts_engine::StatsOnly;
+        use ppfts_population::{unanimous_output_counts, CountConfiguration, TableProtocol};
+        let flock = FlockOfBirds::new(3);
+        let table = TableProtocol::from_protocol(&flock);
+        for s in flock.states() {
+            for r in flock.states() {
+                assert_eq!(table.delta(&s, &r), flock.delta(&s, &r));
+            }
+        }
+        // 5 marked birds among 200, threshold 3: everyone must detect.
+        let inputs: Vec<bool> = std::iter::repeat_n(true, 5)
+            .chain(std::iter::repeat_n(false, 195))
+            .collect();
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, table)
+            .population(flock.initial_counts(&inputs))
+            .seed(6)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(
+            5_000_000,
+            256,
+            stably(
+                |c: &CountConfiguration<FlockState>| {
+                    unanimous_output_counts(&c.counts(), |q| flock.output(q)) == Some(true)
+                },
+                2,
+            ),
+        );
+        assert!(out.is_satisfied());
+    }
 }

@@ -1,6 +1,6 @@
 //! Classic leader election.
 
-use ppfts_population::{Configuration, EnumerableStates, TwoWayProtocol};
+use ppfts_population::{Configuration, CountConfiguration, EnumerableStates, TwoWayProtocol};
 
 /// State of a [`LeaderElection`] agent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,6 +40,12 @@ impl LeaderElection {
     /// The all-candidates initial configuration for `n` agents.
     pub fn initial(n: usize) -> Configuration<LeaderState> {
         Configuration::uniform(LeaderState::Leader, n)
+    }
+
+    /// The all-candidates initial population for `n` agents, count-backed
+    /// — O(1) memory however large the flock.
+    pub fn initial_counts(n: usize) -> CountConfiguration<LeaderState> {
+        CountConfiguration::uniform(LeaderState::Leader, n)
     }
 
     /// Number of remaining leader candidates.
@@ -113,6 +119,35 @@ mod tests {
             let out = runner.run_until(100_000, LeaderElection::is_elected);
             assert!(out.is_satisfied(), "n = {n}");
         }
+    }
+
+    #[test]
+    fn table_port_runs_on_the_count_backend() {
+        use ppfts_engine::convergence::stably;
+        use ppfts_engine::StatsOnly;
+        use ppfts_population::TableProtocol;
+        let table = TableProtocol::from_protocol(&LeaderElection);
+        for s in LeaderElection.states() {
+            for r in LeaderElection.states() {
+                assert_eq!(table.delta(&s, &r), LeaderElection.delta(&s, &r));
+            }
+        }
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, table)
+            .population(LeaderElection::initial_counts(300))
+            .seed(4)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(
+            10_000_000,
+            512,
+            stably(
+                |c: &CountConfiguration<LeaderState>| c.count_state(&LeaderState::Leader) == 1,
+                2,
+            ),
+        );
+        assert!(out.is_satisfied());
+        assert_eq!(runner.config().count_state(&LeaderState::Follower), 299);
     }
 
     #[test]

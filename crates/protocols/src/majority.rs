@@ -306,4 +306,69 @@ mod tests {
         assert_eq!(ExactMajority.output(&SY), MajorityOpinion::Y);
         assert_eq!(ExactMajority.output(&WY), MajorityOpinion::Y);
     }
+
+    #[test]
+    fn approximate_table_port_runs_on_the_count_backend() {
+        use ppfts_engine::convergence::stably;
+        use ppfts_engine::StatsOnly;
+        use ppfts_population::{CountConfiguration, TableProtocol};
+        let table = TableProtocol::from_protocol(&ApproximateMajority);
+        for s in ApproximateMajority.states() {
+            for r in ApproximateMajority.states() {
+                assert_eq!(table.delta(&s, &r), ApproximateMajority.delta(&s, &r));
+            }
+        }
+        // 2:1 margin at n = 300: the minority dies out w.h.p.
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, table)
+            .population(CountConfiguration::from_groups([
+                (MajorityState::X, 200),
+                (MajorityState::Y, 100),
+            ]))
+            .seed(3)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(
+            5_000_000,
+            256,
+            stably(
+                |c: &CountConfiguration<MajorityState>| c.count_state(&MajorityState::X) == 300,
+                2,
+            ),
+        );
+        assert!(out.is_satisfied());
+    }
+
+    #[test]
+    fn exact_table_port_runs_on_the_count_backend() {
+        use ppfts_engine::convergence::stably;
+        use ppfts_engine::StatsOnly;
+        use ppfts_population::{unanimous_output_counts, CountConfiguration, TableProtocol};
+        let table = TableProtocol::from_protocol(&ExactMajority);
+        for s in ExactMajority.states() {
+            for r in ExactMajority.states() {
+                assert_eq!(table.delta(&s, &r), ExactMajority.delta(&s, &r));
+            }
+        }
+        // 26 X vs 24 Y: exact majority must decide X despite the margin
+        // of only 2.
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, table)
+            .population(CountConfiguration::from_groups([(SX, 26), (SY, 24)]))
+            .seed(11)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(
+            20_000_000,
+            512,
+            stably(
+                |c: &CountConfiguration<ExactMajorityState>| {
+                    unanimous_output_counts(&c.counts(), |q| ExactMajority.output(q))
+                        == Some(MajorityOpinion::X)
+                },
+                2,
+            ),
+        );
+        assert!(out.is_satisfied());
+    }
 }

@@ -249,6 +249,41 @@ mod tests {
     }
 
     #[test]
+    fn table_port_runs_on_the_count_backend() {
+        use ppfts_engine::convergence::stably;
+        use ppfts_engine::StatsOnly;
+        use ppfts_population::{unanimous_output_counts, CountConfiguration, TableProtocol};
+        let p = Remainder::new(3, 1);
+        let table = TableProtocol::from_protocol(&p);
+        for s in p.states() {
+            for r in p.states() {
+                assert_eq!(table.delta(&s, &r), p.delta(&s, &r));
+            }
+        }
+        // 100 agents with input 2 each: 200 mod 3 == 2 ≠ 1 → all false.
+        let inputs = vec![2u32; 100];
+        let expected = p.expected(&inputs);
+        assert!(!expected);
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, table)
+            .population(p.initial_counts(&inputs))
+            .seed(8)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner.run_batched_until(
+            5_000_000,
+            256,
+            stably(
+                |c: &CountConfiguration<RemainderState>| {
+                    unanimous_output_counts(&c.counts(), |q| p.output(q)) == Some(expected)
+                },
+                2,
+            ),
+        );
+        assert!(out.is_satisfied());
+    }
+
+    #[test]
     #[should_panic(expected = "modulus")]
     fn modulus_one_rejected() {
         let _ = Remainder::new(1, 0);

@@ -10,7 +10,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
-//! | [`population`] | `ppfts-population` | agents, configurations, multisets, two-way protocols, semantics |
+//! | [`population`] | `ppfts-population` | agents, population backends (dense + count-based), multisets, two-way protocols, semantics |
 //! | [`engine`] | `ppfts-engine` | the ten interaction models, omission adversaries, schedulers, runners (scalar + batched), trace sinks, model hierarchy |
 //! | [`protocols`] | `ppfts-protocols` | Pairing, epidemic, majorities, flock-of-birds, remainder, max-gossip, leader election, semilinear compiler |
 //! | [`core`] | `ppfts-core` | the paper's simulators (`SKnO`, `SID`, `Nn`) and the simulation theory (events, matchings, derived executions, FTT) |

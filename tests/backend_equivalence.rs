@@ -1,0 +1,317 @@
+//! Dense ↔ count backend agreement.
+//!
+//! Two contracts tie the [`CountConfiguration`] backend to the dense
+//! per-agent semantics:
+//!
+//! 1. **Exact replay** — a configuration of anonymous agents is fully
+//!    captured by its state multiset, so folding a dense run's step
+//!    records `(old_starter, old_reactor) → (new_starter, new_reactor)`
+//!    through `CountConfiguration::apply_outcome` must land on *exactly*
+//!    the dense run's final multiset, for any interaction sequence
+//!    (scheduled or scripted), any model and any fault pattern.
+//! 2. **Distributional agreement** — both backends realize the same
+//!    uniform-pairing law, so convergence-step distributions of the
+//!    ported protocols must agree across backends within sampling
+//!    tolerance.
+//!
+//! CI runs this suite with a bounded `PROPTEST_CASES` on every push.
+
+use proptest::prelude::*;
+
+use ppfts::engine::convergence::stably;
+use ppfts::engine::{
+    ExecBackend, FullTrace, OneWayModel, OneWayProgram, OneWayRunner, RateStrategy, StatsOnly,
+    TwoWayModel, TwoWayRunner,
+};
+use ppfts::population::{
+    Configuration, CountConfiguration, Multiset, Population, State, TableProtocol, TwoWayProtocol,
+};
+use ppfts::protocols::{
+    ApproximateMajority, Epidemic, LeaderElection, LeaderState, MajorityState, Pairing,
+    PairingState,
+};
+
+/// One-way epidemic used by the one-way replay case.
+struct Or;
+impl OneWayProgram for Or {
+    type State = bool;
+    fn on_receive(&self, s: &bool, r: &bool) -> bool {
+        *s || *r
+    }
+}
+
+fn pairing_state_strategy() -> impl Strategy<Value = PairingState> {
+    prop_oneof![
+        Just(PairingState::Paired),
+        Just(PairingState::Consumer),
+        Just(PairingState::Producer),
+        Just(PairingState::Spent),
+    ]
+}
+
+/// Replays a full trace onto the count view of `initial` and asserts the
+/// final multisets agree exactly.
+fn assert_replay_matches<Q: State>(
+    initial: &Configuration<Q>,
+    trace_records: impl Iterator<Item = (Q, Q, Q, Q)>,
+    dense_final: &Configuration<Q>,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut counts = CountConfiguration::from_dense(initial);
+    for (old_s, old_r, new_s, new_r) in trace_records {
+        counts
+            .apply_outcome(&old_s, &old_r, (new_s, new_r))
+            .expect("dense run only interacts present agents");
+    }
+    prop_assert_eq!(
+        counts.counts(),
+        Population::counts(dense_final),
+        "replayed multiset diverged from the dense run"
+    );
+    prop_assert_eq!(counts.len(), Population::len(dense_final));
+    Ok(())
+}
+
+/// Steps-to-convergence of one seeded run on any backend, or `None` if
+/// the budget ran out.
+fn steps_to<P, C>(
+    protocol: P,
+    population: C,
+    seed: u64,
+    budget: u64,
+    batch: u64,
+    pred: impl Fn(&Multiset<P::State>) -> bool,
+) -> Option<u64>
+where
+    P: TwoWayProtocol,
+    C: ExecBackend<State = P::State>,
+{
+    let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, protocol)
+        .population(population)
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("valid population");
+    let out = runner.run_batched_until(budget, batch, stably(|c: &C| pred(&c.counts()), 2));
+    out.is_satisfied().then(|| out.steps())
+}
+
+/// Mean convergence steps over a fixed seed set; every seed must converge.
+fn mean_steps<P, C>(
+    make_protocol: impl Fn() -> P,
+    make_population: impl Fn() -> C,
+    seeds: std::ops::Range<u64>,
+    budget: u64,
+    pred: impl Fn(&Multiset<P::State>) -> bool + Copy,
+) -> f64
+where
+    P: TwoWayProtocol,
+    C: ExecBackend<State = P::State>,
+{
+    let mut total = 0f64;
+    let mut count = 0usize;
+    for seed in seeds {
+        let steps = steps_to(make_protocol(), make_population(), seed, budget, 64, pred)
+            .expect("seed must converge within budget");
+        total += steps as f64;
+        count += 1;
+    }
+    total / count as f64
+}
+
+proptest! {
+    /// Exact replay, two-way: a seeded Pairing run under any two-way
+    /// model with a rate adversary, replayed record-by-record onto
+    /// counts.
+    #[test]
+    fn two_way_replay_yields_identical_multisets(
+        states in prop::collection::vec(pairing_state_strategy(), 2..14),
+        rate in 0u32..=100,
+        seed in 0u64..10_000,
+        steps in 0u64..300,
+    ) {
+        let initial = Configuration::new(states);
+        let mut runner = TwoWayRunner::builder(TwoWayModel::T1, Pairing)
+            .config(initial.clone())
+            .adversary(RateStrategy::new(rate as f64 / 100.0))
+            .seed(seed)
+            .trace_sink(FullTrace::new())
+            .build()
+            .unwrap();
+        runner.run(steps).unwrap();
+        let trace = runner.take_trace().unwrap();
+        assert_replay_matches(
+            &initial,
+            trace.records().iter().map(|r| (
+                r.old_starter,
+                r.old_reactor,
+                r.new_starter,
+                r.new_reactor,
+            )),
+            runner.config(),
+        )?;
+    }
+
+    /// Exact replay, one-way: the epidemic under an omissive one-way
+    /// model — omissive steps are recorded too and must replay exactly.
+    #[test]
+    fn one_way_replay_yields_identical_multisets(
+        infected in prop::collection::vec(any::<bool>(), 2..14),
+        rate in 0u32..=100,
+        seed in 0u64..10_000,
+        steps in 0u64..300,
+    ) {
+        let initial = Configuration::new(infected);
+        let mut runner = OneWayRunner::builder(OneWayModel::I3, Or)
+            .config(initial.clone())
+            .adversary(RateStrategy::new(rate as f64 / 100.0))
+            .seed(seed)
+            .trace_sink(FullTrace::new())
+            .build()
+            .unwrap();
+        runner.run(steps).unwrap();
+        let trace = runner.take_trace().unwrap();
+        assert_replay_matches(
+            &initial,
+            trace.records().iter().map(|r| (
+                r.old_starter,
+                r.old_reactor,
+                r.new_starter,
+                r.new_reactor,
+            )),
+            runner.config(),
+        )?;
+    }
+
+    /// Distributional agreement on the epidemic: the mean convergence
+    /// step count over a window of seeds must agree across backends
+    /// within sampling tolerance. (Both backends realize the same
+    /// uniform-pair law but consume the RNG differently, so only the
+    /// distribution — not individual runs — can match.)
+    #[test]
+    fn epidemic_convergence_distributions_agree(
+        n in 30usize..80,
+        seed_base in 0u64..1_000,
+    ) {
+        let table = TableProtocol::from_protocol(&Epidemic);
+        let pred = |m: &Multiset<bool>| m.count(&true) == m.len();
+        let budget = 500_000;
+        let seeds = 16;
+        let dense = mean_steps(
+            || table.clone(),
+            || {
+                Configuration::from_groups([(true, 1), (false, n - 1)])
+            },
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let count = mean_steps(
+            || table.clone(),
+            || CountConfiguration::from_groups([(true, 1), (false, n - 1)]),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let ratio = dense / count;
+        prop_assert!(
+            (0.5..=2.0).contains(&ratio),
+            "epidemic mean steps diverged: dense {dense:.0} vs count {count:.0} (n = {n})"
+        );
+    }
+
+    /// Distributional agreement on approximate majority (a protocol with
+    /// a non-monotone trajectory) and leader election (quadratic
+    /// meeting times) at a fixed size, seed-windowed.
+    #[test]
+    fn ported_protocol_distributions_agree(
+        seed_base in 0u64..1_000,
+    ) {
+        // Approximate majority, 2:1 margin at n = 48. The comparison is
+        // steps-to-consensus (either opinion): the X-majority wins w.h.p.
+        // but an unlucky seed may flip, and that seed must still count.
+        let budget = 2_000_000;
+        let seeds = 12;
+        let pred = |m: &Multiset<MajorityState>| {
+            m.count(&MajorityState::X) == m.len() || m.count(&MajorityState::Y) == m.len()
+        };
+        let groups = [(MajorityState::X, 32), (MajorityState::Y, 16)];
+        let dense = mean_steps(
+            || ApproximateMajority,
+            || Configuration::from_groups(groups),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let count = mean_steps(
+            || ApproximateMajority,
+            || CountConfiguration::from_groups(groups),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let ratio = dense / count;
+        prop_assert!(
+            (0.4..=2.5).contains(&ratio),
+            "approximate-majority mean steps diverged: dense {dense:.0} vs count {count:.0}"
+        );
+
+        // Leader election at n = 32.
+        let pred = |m: &Multiset<LeaderState>| m.count(&LeaderState::Leader) == 1;
+        let dense = mean_steps(
+            || LeaderElection,
+            || LeaderElection::initial(32),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let count = mean_steps(
+            || LeaderElection,
+            || LeaderElection::initial_counts(32),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let ratio = dense / count;
+        prop_assert!(
+            (0.4..=2.5).contains(&ratio),
+            "leader-election mean steps diverged: dense {dense:.0} vs count {count:.0}"
+        );
+    }
+}
+
+/// The acceptance fixture in miniature (the full n = 10⁶ run lives in
+/// `benches/e11_giant.rs`): epidemic on counts through
+/// `run_batched_until` + `stably`, with the dense backend agreeing at a
+/// size it can still comfortably sweep in a debug test.
+#[test]
+fn epidemic_converges_on_both_backends_at_ten_thousand() {
+    let n = 10_000usize;
+    let pred = |m: &Multiset<bool>| m.count(&true) == m.len();
+    let count_steps = steps_to(
+        Epidemic,
+        CountConfiguration::from_groups([(true, 1), (false, n - 1)]),
+        7,
+        200_000_000,
+        4096,
+        pred,
+    )
+    .expect("count backend converges");
+    let dense_steps = steps_to(
+        Epidemic,
+        Configuration::from_groups([(true, 1), (false, n - 1)]),
+        7,
+        200_000_000,
+        4096,
+        pred,
+    )
+    .expect("dense backend converges");
+    // Θ(n log n) ≈ 9.2 n; both backends must land in the same decade.
+    let expected = n as f64 * (n as f64).ln();
+    for (label, steps) in [("count", count_steps), ("dense", dense_steps)] {
+        let ratio = steps as f64 / expected;
+        assert!(
+            (0.2..=5.0).contains(&ratio),
+            "{label} backend took {steps} steps, expected ≈ {expected:.0}"
+        );
+    }
+}

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 
-use ppfts::core::{Sid, Skno};
+use ppfts::core::{NamedSid, Sid, Skno};
 use ppfts::engine::{
     BoundedStrategy, FullTrace, OneWayModel, OneWayProgram, OneWayRunner, RateStrategy, RunStats,
     SampledTrace, StatsOnly, TwoWayModel, TwoWayRunner,
@@ -245,6 +245,82 @@ proptest! {
             (r.config().clone(), r.stats(), r.steps())
         };
         assert_equiv(pure, in_place, "Skno pure vs in-place")?;
+    }
+
+    /// `Sid`'s hand-written in-place handshake against the pure
+    /// observation semantics: a passive sink routes through
+    /// `observe_in_place`, a recording sink through `observe` plus
+    /// compare-and-store. Both must agree bit-for-bit.
+    #[test]
+    fn in_place_path_matches_pure_path_for_sid(
+        consumers in 1usize..5,
+        producers in 1usize..5,
+        seed in 0u64..10_000,
+        steps in 0u64..400,
+        batch in 1u64..128,
+    ) {
+        let sims: Vec<PairingState> = Pairing::initial(consumers, producers)
+            .as_slice()
+            .to_vec();
+        let pure = {
+            let mut r = OneWayRunner::builder(OneWayModel::Io, Sid::new(Pairing))
+                .config(Sid::<Pairing>::initial(&sims))
+                .seed(seed)
+                .trace_sink(FullTrace::new())
+                .build()
+                .unwrap();
+            r.run(steps).unwrap();
+            (r.config().clone(), r.stats(), r.steps())
+        };
+        let in_place = {
+            let mut r = OneWayRunner::builder(OneWayModel::Io, Sid::new(Pairing))
+                .config(Sid::<Pairing>::initial(&sims))
+                .seed(seed)
+                .trace_sink(StatsOnly)
+                .build()
+                .unwrap();
+            r.run_batched(steps, batch).unwrap();
+            (r.config().clone(), r.stats(), r.steps())
+        };
+        assert_equiv(pure, in_place, "Sid pure vs in-place")?;
+    }
+
+    /// `NamedSid`'s in-place naming-plus-handshake against the pure
+    /// semantics, through both the naming phase and the composed SID
+    /// phase.
+    #[test]
+    fn in_place_path_matches_pure_path_for_named_sid(
+        consumers in 1usize..5,
+        producers in 1usize..5,
+        seed in 0u64..10_000,
+        steps in 0u64..500,
+        batch in 1u64..128,
+    ) {
+        let sims: Vec<PairingState> = Pairing::initial(consumers, producers)
+            .as_slice()
+            .to_vec();
+        let n = sims.len();
+        let pure = {
+            let mut r = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(Pairing, n))
+                .config(NamedSid::<Pairing>::initial(&sims))
+                .seed(seed)
+                .trace_sink(FullTrace::new())
+                .build()
+                .unwrap();
+            r.run(steps).unwrap();
+            (r.config().clone(), r.stats(), r.steps())
+        };
+        let in_place = {
+            let mut r = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(Pairing, n))
+                .config(NamedSid::<Pairing>::initial(&sims))
+                .seed(seed)
+                .trace_sink(StatsOnly)
+                .build()
+                .unwrap();
+            r.run_batched(steps, batch).unwrap();
+            (r.config().clone(), r.stats(), r.steps())
+        };
+        assert_equiv(pure, in_place, "NamedSid pure vs in-place")?;
     }
 
     /// Equivalence also holds for *recording* sinks: a batched run feeds
