@@ -1,0 +1,96 @@
+//! E12 — graph-aware scheduling: ring vs. random-regular vs. complete.
+//!
+//! Two measurements per topology family, sweeping n = 10³…10⁵:
+//!
+//! * `draws_<family>_n1e{3,4,5}` — the scheduling-layer cost alone: 10⁶
+//!   edge draws through `TopologyScheduler` (checksum-folded so nothing
+//!   is elided). This is the number that must stay flat across `n` and
+//!   across families — CSR arc sampling is one range draw regardless of
+//!   graph size, and the complete graph keeps the classic two-draw
+//!   uniform path — i.e. graph-aware scheduling batches edge draws as
+//!   cheaply as pair draws.
+//! * `epidemic_<family>_n1e{3,4}` — the scenario dynamics: seeded
+//!   epidemic broadcast to stable full infection
+//!   (`measure_epidemic_topology`, 1 seed). Expect Θ(n log n)
+//!   interactions on the complete graph and the degree-4 random-regular
+//!   expander versus Θ(n²) on the ring (its two infection frontiers are
+//!   hit with probability ~2/n per step) — which is also why the ring
+//!   row stops at n = 10⁴: at 10⁵ the ring alone would need ~5·10⁹
+//!   interactions per seed. The n = 10⁵ scheduling cost is covered by
+//!   the `draws_*` rows.
+//!
+//! Run with `BENCH_JSON=$PWD/BENCH_RESULTS.json cargo bench -p
+//! ppfts-bench --bench e12_topology` from the workspace root to record
+//! the numbers into the committed baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppfts_bench::{measure_epidemic_topology, topology_draw_checksum};
+use ppfts_population::Topology;
+
+const DRAWS: u64 = 1_000_000;
+const RR_DEGREE: usize = 4;
+const TOPOLOGY_SEED: u64 = 12;
+
+fn families(n: usize) -> Vec<(&'static str, Topology)> {
+    vec![
+        ("ring", Topology::ring(n).unwrap()),
+        (
+            "rr4",
+            Topology::random_regular(n, RR_DEGREE, TOPOLOGY_SEED).unwrap(),
+        ),
+        ("complete", Topology::complete(n).unwrap()),
+    ]
+}
+
+fn exp_label(n: usize) -> &'static str {
+    match n {
+        1_000 => "n1e3",
+        10_000 => "n1e4",
+        100_000 => "n1e5",
+        _ => unreachable!("unlabeled size"),
+    }
+}
+
+fn bench_draws(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_topology");
+    group.sample_size(5);
+    for n in [1_000usize, 10_000, 100_000] {
+        for (family, topology) in families(n) {
+            group.bench_function(format!("draws_{family}_{}", exp_label(n)), |b| {
+                b.iter(|| topology_draw_checksum(&topology, DRAWS, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_epidemic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_topology");
+    group.sample_size(3);
+    for n in [1_000usize, 10_000] {
+        for family in ["ring", "rr4", "complete"] {
+            // Ring broadcast is Θ(n²): give every family the budget the
+            // slowest one needs at this n.
+            let budget = (n as u64) * (n as u64) * 4;
+            group.bench_function(format!("epidemic_{family}_{}", exp_label(n)), |b| {
+                b.iter(|| {
+                    let conv = measure_epidemic_topology(
+                        || match family {
+                            "ring" => Topology::ring(n).unwrap(),
+                            "rr4" => Topology::random_regular(n, RR_DEGREE, TOPOLOGY_SEED).unwrap(),
+                            _ => Topology::complete(n).unwrap(),
+                        },
+                        1,
+                        budget,
+                    );
+                    assert_eq!(conv.converged, 1, "seed 0 must converge in budget");
+                    conv.mean_steps
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_draws, bench_epidemic);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Runs the full experiment suite (DESIGN.md E1–E11) and prints the
+//! Runs the full experiment suite (DESIGN.md E1–E12) and prints the
 //! paper-claim-vs-measured tables recorded in EXPERIMENTS.md.
 //!
 //! Convergence measurements (E5, E7, E8) run on the engine's batched
@@ -9,12 +9,13 @@
 //! Run with: `cargo run --release -p ppfts-bench --bin experiments`
 
 use ppfts_bench::{
-    measure_epidemic_giant, measure_epidemic_giant_dense, measure_named, measure_naming_phase,
-    measure_sid, measure_skno, skno_peak_tokens,
+    measure_epidemic_giant, measure_epidemic_giant_dense, measure_epidemic_topology, measure_named,
+    measure_naming_phase, measure_sid, measure_skno, skno_peak_tokens,
 };
 use ppfts_core::{fastest_transition_time, Sid, SidState, Skno, SknoState};
 use ppfts_engine::hierarchy::{direct_inclusions, includes};
 use ppfts_engine::{Model, OneWayModel};
+use ppfts_population::Topology;
 use ppfts_protocols::{Pairing, PairingState};
 use ppfts_verify::{lemma1_attack, thm32_attack, AttackOutcome, Optimist, OptimistState};
 
@@ -203,6 +204,33 @@ fn main() {
         let c = measure_epidemic_giant_dense(n, if n <= 10_000 { seeds } else { 3 }, 400_000_000);
         println!("{}", c.row());
     }
+
+    header(
+        "E12",
+        "Graph-aware scheduling: epidemic broadcast by interaction topology",
+    );
+    println!(
+        "{:>8} | {:>7} | {:>11} | {:>12} | {:>10}",
+        "family", "n", "converged", "mean steps", "per-agent"
+    );
+    for n in [1_000usize, 10_000] {
+        let budget = (n as u64) * (n as u64) * 4;
+        for (family, make) in [
+            (
+                "ring",
+                Box::new(move || Topology::ring(n).unwrap()) as Box<dyn Fn() -> Topology + Sync>,
+            ),
+            (
+                "rr4",
+                Box::new(move || Topology::random_regular(n, 4, 12).unwrap()),
+            ),
+            ("complete", Box::new(move || Topology::complete(n).unwrap())),
+        ] {
+            let c = measure_epidemic_topology(&make, if n <= 1_000 { seeds } else { 3 }, budget);
+            println!("{family:>8} | {}", c.row());
+        }
+    }
+    println!("(edge-draw throughput across n = 10³…10⁵: BENCH_RESULTS.json, e12_topology/draws_*)");
 
     println!("\nAll experiment tables printed. EXPERIMENTS.md records the expected shapes.");
 }

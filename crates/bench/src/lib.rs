@@ -25,8 +25,10 @@ use ppfts_engine::{
     run_seeds, BoundedStrategy, OneWayModel, OneWayRunner, RunOutcome, StatsOnly, TwoWayModel,
     TwoWayRunner, UniformScheduler,
 };
-use ppfts_population::{Configuration, CountConfiguration};
-use ppfts_protocols::{Epidemic, Pairing, PairingState};
+use ppfts_population::{Configuration, CountConfiguration, Topology};
+use ppfts_protocols::{scenario, Epidemic, Pairing, PairingState};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// Batch size of the harness's batched runs: big enough to amortize the
 /// per-boundary projection predicate to noise, small enough that the
@@ -258,6 +260,57 @@ where
     aggregate(n, results.into_iter().map(|s| s.value))
 }
 
+/// E12: epidemic broadcast on an explicit interaction topology — the
+/// graph-aware scenario of `ppfts_protocols::scenario`, run per seed to
+/// stable full infection through `run_batched_until` + [`stably`].
+///
+/// The graph is generated once and cloned per seed (the generators are
+/// deterministic in their own seed, so every run seed sees the same
+/// graph anyway — a clone is the cheap equivalent of regenerating); the
+/// interesting comparison is across families at fixed `n` — Θ(n log n)
+/// on the complete graph and good expanders versus Θ(n²) on the ring.
+/// `steps_per_simulated` normalizes by `n`.
+pub fn measure_epidemic_topology(
+    make_topology: impl Fn() -> Topology + Sync,
+    seeds: u64,
+    budget: u64,
+) -> Convergence {
+    let prototype = make_topology();
+    let n = prototype.len();
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let mut runner =
+            scenario::epidemic_on(prototype.clone(), seed).expect("valid topology scenario");
+        let out = runner.run_batched_until(
+            budget,
+            BATCH,
+            stably(scenario::all_infected::<Configuration<bool>>, STABLE_WINDOW),
+        );
+        (out, n as u64)
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// E12 (scheduling-layer cost): drains `draws` arcs from `topology` —
+/// the exact sampling path [`TopologyScheduler`](ppfts_engine::TopologyScheduler)
+/// runs per step — and
+/// folds the endpoints into a checksum, so the optimizer cannot elide
+/// the draws. Sampling borrows the topology (no clone inside the
+/// measured region), isolating the per-step price of graph-aware edge
+/// sampling from protocol dynamics — the number the
+/// `e12_topology/draws_*` bench entries record.
+pub fn topology_draw_checksum(topology: &Topology, draws: u64, seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut acc = 0u64;
+    for _ in 0..draws {
+        let i = topology.sample_arc(&mut rng);
+        acc = acc
+            .wrapping_mul(31)
+            .wrapping_add(i.starter().index() as u64)
+            .wrapping_add((i.reactor().index() as u64) << 1);
+    }
+    acc
+}
+
 /// Peak per-agent token footprint of SKnO on the Pairing workload — the
 /// measured side of Theorem 4.1's Θ(|Q_P|·(o+1)·log n) memory bound.
 pub fn skno_peak_tokens(n: usize, o: u32, steps: u64, seed: u64) -> usize {
@@ -366,6 +419,29 @@ mod tests {
                 c.steps_per_simulated
             );
         }
+    }
+
+    #[test]
+    fn topology_harness_separates_ring_from_complete() {
+        let ring = measure_epidemic_topology(|| Topology::ring(64).unwrap(), 2, 10_000_000);
+        assert_eq!(ring.converged, 2);
+        let complete = measure_epidemic_topology(|| Topology::complete(64).unwrap(), 2, 10_000_000);
+        assert_eq!(complete.converged, 2);
+        // Θ(n²) ring broadcast vs Θ(n log n) complete-graph epidemic.
+        assert!(
+            ring.mean_steps > complete.mean_steps,
+            "ring {} vs complete {}",
+            ring.mean_steps,
+            complete.mean_steps
+        );
+    }
+
+    #[test]
+    fn draw_checksum_is_deterministic_and_seed_sensitive() {
+        let t = Topology::random_regular(32, 4, 3).unwrap();
+        let a = topology_draw_checksum(&t, 10_000, 1);
+        assert_eq!(a, topology_draw_checksum(&t, 10_000, 1));
+        assert_ne!(a, topology_draw_checksum(&t, 10_000, 2));
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //!   identities never exist. Pairs are sampled straight from the counts
 //!   with exactly the uniform scheduler's law (see
 //!   [`CountConfiguration::sample_pair`]), so only schedulers whose
-//!   [`is_uniform`](Scheduler::is_uniform) is `true` are accepted.
-//!   Operations that name agents return
+//!   [`law`](Scheduler::law) is count-realizable
+//!   ([`InteractionLaw::Uniform`](crate::InteractionLaw::Uniform)) are
+//!   accepted — builders reject anything else with
+//!   [`EngineError::CompleteInteractionLawRequired`] before the run
+//!   starts. Operations that name agents return
 //!   [`EngineError::PerAgentBackendRequired`].
 
 use ppfts_population::{CountConfiguration, DenseConfiguration, Interaction, Population, State};
@@ -174,11 +177,14 @@ impl<Q: State> ExecBackend for CountConfiguration<Q> {
     const STABLE_PAIRS: bool = false;
 
     fn draw_pair(&self, scheduler: &mut dyn Scheduler, rng: &mut dyn RngCore) -> (Q, Q) {
+        // Builders refuse to assemble this combination
+        // (EngineError::CompleteInteractionLawRequired); the assert only
+        // guards direct ExecBackend callers.
         assert!(
-            scheduler.is_uniform(),
+            scheduler.law().count_realizable(),
             "count-based populations sample pairs from state counts and can only \
-             realize the uniform scheduler's law; use the dense backend for \
-             scripted or round-robin schedules"
+             realize the uniform complete-graph law; use the dense backend for \
+             restricted topologies and index-addressed schedules"
         );
         self.sample_pair(rng)
     }
@@ -253,7 +259,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "uniform scheduler")]
+    #[should_panic(expected = "uniform complete-graph law")]
     fn count_backend_rejects_non_uniform_schedulers() {
         let config = CountConfiguration::from_groups([('a', 2)]);
         let mut rng = SmallRng::seed_from_u64(3);

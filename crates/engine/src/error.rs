@@ -5,7 +5,7 @@ use std::fmt;
 
 use ppfts_population::PopulationError;
 
-use crate::Model;
+use crate::{InteractionLaw, Model};
 
 /// Errors raised while configuring or driving an execution.
 ///
@@ -53,6 +53,23 @@ pub enum EngineError {
         /// The per-agent operation that was attempted.
         operation: &'static str,
     },
+    /// A count-based population backend was assembled with a scheduler
+    /// whose [`InteractionLaw`] it cannot realize: counts sample pairs
+    /// straight from state multiplicities, which reproduces exactly the
+    /// uniform complete-graph law and nothing else. Restricted
+    /// topologies and index-addressed schedules need the dense backend.
+    CompleteInteractionLawRequired {
+        /// The law the rejected scheduler deals from.
+        law: InteractionLaw,
+    },
+    /// A topology-bound scheduler was assembled with a population of a
+    /// different size than its interaction graph.
+    TopologySizeMismatch {
+        /// Vertices of the scheduler's topology.
+        topology: usize,
+        /// Agents in the supplied population.
+        population: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -76,6 +93,24 @@ impl fmt::Display for EngineError {
                     f,
                     "{operation} requires a per-agent (dense) population backend; \
                      the count backend stores state multiplicities only"
+                )
+            }
+            EngineError::CompleteInteractionLawRequired { law } => {
+                write!(
+                    f,
+                    "count-based populations realize the interaction distribution from \
+                     state counts, which is only possible for the uniform complete-graph \
+                     law; got a scheduler dealing the {law} law — use the dense backend"
+                )
+            }
+            EngineError::TopologySizeMismatch {
+                topology,
+                population,
+            } => {
+                write!(
+                    f,
+                    "scheduler topology spans {topology} agents but the population has \
+                     {population}; build the topology for the population you run"
                 )
             }
         }
@@ -111,6 +146,20 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("TW"));
         assert!(msg.contains("omit@both"));
+    }
+
+    #[test]
+    fn negotiation_errors_name_the_offenders() {
+        let e = EngineError::CompleteInteractionLawRequired {
+            law: InteractionLaw::Topological,
+        };
+        assert!(e.to_string().contains("topological"));
+        let e = EngineError::TopologySizeMismatch {
+            topology: 8,
+            population: 6,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('8') && msg.contains('6'));
     }
 
     #[test]

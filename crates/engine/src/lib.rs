@@ -21,7 +21,12 @@
 //! * [`OmissionStrategy`] and implementations — the adversaries **UO**,
 //!   **NO**, **NO1**, plus bounded and scripted variants,
 //! * [`Scheduler`] and implementations — uniform-random (globally fair with
-//!   probability 1), round-robin fair, and scripted schedulers,
+//!   probability 1), graph-aware ([`TopologyScheduler`]: uniform random
+//!   edge of an arbitrary connected
+//!   [`Topology`](ppfts_population::Topology), of which uniform-random is
+//!   the complete-graph instance), round-robin fair, and scripted
+//!   schedulers, each advertising its [`InteractionLaw`] for typed
+//!   backend/scheduler capability negotiation at build time,
 //! * [`OneWayRunner`], [`TwoWayRunner`] — deterministic, seedable execution
 //!   drivers with pluggable [`TraceSink`]s, scalar and batched stepping
 //!   (seed-equivalent; see `run_batched`), planned-prefix execution (used
@@ -95,7 +100,10 @@ pub use program::{validate_io_program, OneWayProgram, TwoWayProgram};
 pub use runner::{
     OneWayRunner, OneWayRunnerBuilder, Planned, RunOutcome, TwoWayRunner, TwoWayRunnerBuilder,
 };
-pub use scheduler::{RoundRobinScheduler, Scheduler, ScriptedScheduler, UniformScheduler};
+pub use scheduler::{
+    InteractionLaw, RoundRobinScheduler, Scheduler, ScriptedScheduler, TopologyScheduler,
+    UniformScheduler,
+};
 pub use sink::{FullTrace, SampledTrace, StatsOnly, TraceSink};
 pub use stats::RunStats;
 pub use trace::{StepRecord, Trace};

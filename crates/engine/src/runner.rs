@@ -28,14 +28,14 @@
 //!   adversary. This is how the impossibility constructions of the paper
 //!   (runs `I_k`, `I*`) are realized.
 
-use ppfts_population::{Configuration, Interaction};
+use ppfts_population::{Configuration, Interaction, Topology};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::{
     outcome, EngineError, ExecBackend, FullTrace, NoOmissions, OmissionStrategy, OneWayFault,
-    OneWayModel, OneWayProgram, RunStats, Scheduler, SidePolicy, StepRecord, Trace, TraceSink,
-    TwoWayFault, TwoWayModel, TwoWayProgram, UniformScheduler,
+    OneWayModel, OneWayProgram, RunStats, Scheduler, SidePolicy, StepRecord, TopologyScheduler,
+    Trace, TraceSink, TwoWayFault, TwoWayModel, TwoWayProgram, UniformScheduler,
 };
 
 /// One pre-planned step: an interaction and its fault decoration.
@@ -651,10 +651,13 @@ macro_rules! runner_impl {
             /// Count-backed runners support the full batched measurement
             /// surface (`run*`, `run_batched*`, [`StatsOnly`] sinks,
             /// every omission adversary) but no per-agent operations:
-            /// assembling one with a recording sink or a non-uniform
-            /// scheduler fails at `build()` with
-            /// [`EngineError::PerAgentBackendRequired`], and `step` /
-            /// `apply_planned` report the same error when called.
+            /// assembling one with a recording sink fails at `build()`
+            /// with [`EngineError::PerAgentBackendRequired`], a scheduler
+            /// whose law counts cannot realize (restricted topology,
+            /// scripted, round-robin) fails with
+            /// [`EngineError::CompleteInteractionLawRequired`], and
+            /// `step` / `apply_planned` report
+            /// [`EngineError::PerAgentBackendRequired`] when called.
             ///
             /// [`CountConfiguration`]: ppfts_population::CountConfiguration
             /// [`StatsOnly`]: crate::StatsOnly
@@ -686,6 +689,24 @@ macro_rules! runner_impl {
                     seed: self.seed,
                     sink: self.sink,
                 }
+            }
+
+            /// Schedules interactions over an explicit interaction graph
+            /// — shorthand for
+            /// `scheduler(TopologyScheduler::new(topology))`.
+            ///
+            /// `build()` checks the topology spans exactly the supplied
+            /// population ([`EngineError::TopologySizeMismatch`]) and, on
+            /// a count backend, that the topology is complete
+            /// ([`EngineError::CompleteInteractionLawRequired`]) —
+            /// restricted graphs need agent identities.
+            ///
+            /// [`Topology`]: ppfts_population::Topology
+            pub fn topology(
+                self,
+                topology: Topology,
+            ) -> $Builder<P, TopologyScheduler, A, T, C> {
+                self.scheduler(TopologyScheduler::new(topology))
             }
 
             /// Replaces the omission adversary (default: [`NoOmissions`]).
@@ -747,12 +768,17 @@ macro_rules! runner_impl {
             /// # Errors
             ///
             /// Returns [`EngineError::InvalidPopulation`] if no
-            /// population was supplied or it has fewer than two agents,
-            /// and [`EngineError::PerAgentBackendRequired`] when a
-            /// backend without agent identities (the count backend) is
-            /// assembled with a recording trace sink or a non-uniform
-            /// scheduler — both need to address agents by index, so the
-            /// mismatch is rejected here rather than mid-run.
+            /// population was supplied or it has fewer than two agents;
+            /// [`EngineError::TopologySizeMismatch`] if the scheduler is
+            /// bound to a topology of a different size than the
+            /// population; and, when the backend has no agent identities
+            /// (the count backend),
+            /// [`EngineError::PerAgentBackendRequired`] for a recording
+            /// trace sink (records name their endpoints) or
+            /// [`EngineError::CompleteInteractionLawRequired`] for a
+            /// scheduler whose [`InteractionLaw`](crate::InteractionLaw)
+            /// counts cannot realize — every mismatch is rejected here
+            /// rather than mid-run.
             pub fn build(self) -> Result<$Runner<P, S, A, T, C>, EngineError> {
                 let config = self
                     .config
@@ -760,16 +786,23 @@ macro_rules! runner_impl {
                 if config.len() < 2 {
                     return Err(EngineError::InvalidPopulation { len: config.len() });
                 }
+                if let Some(required) = self.scheduler.required_population() {
+                    if required != config.len() {
+                        return Err(EngineError::TopologySizeMismatch {
+                            topology: required,
+                            population: config.len(),
+                        });
+                    }
+                }
                 if !C::PER_AGENT {
                     if !self.sink.is_passive() {
                         return Err(EngineError::PerAgentBackendRequired {
                             operation: "recording trace sinks",
                         });
                     }
-                    if !self.scheduler.is_uniform() {
-                        return Err(EngineError::PerAgentBackendRequired {
-                            operation: "index-addressed (non-uniform) scheduling",
-                        });
+                    let law = self.scheduler.law();
+                    if !law.count_realizable() {
+                        return Err(EngineError::CompleteInteractionLawRequired { law });
                     }
                 }
                 Ok($Runner {
@@ -1258,7 +1291,8 @@ mod tests {
             .err()
             .expect("recording sink on counts must not build");
         assert!(matches!(err, EngineError::PerAgentBackendRequired { .. }));
-        // So is an index-addressed scheduler.
+        // So is an index-addressed scheduler — the typed law negotiation
+        // rejects it at build time, naming the offending law.
         let err = OneWayRunner::builder(OneWayModel::Io, Epidemic)
             .population(CountConfiguration::from_groups([(true, 1), (false, 3)]))
             .scheduler(crate::RoundRobinScheduler::new())
@@ -1266,7 +1300,12 @@ mod tests {
             .build()
             .err()
             .expect("non-uniform scheduler on counts must not build");
-        assert!(matches!(err, EngineError::PerAgentBackendRequired { .. }));
+        assert!(matches!(
+            err,
+            EngineError::CompleteInteractionLawRequired {
+                law: crate::InteractionLaw::IndexAddressed
+            }
+        ));
         // The disabled-FullTrace default is passive and builds fine.
         assert!(OneWayRunner::builder(OneWayModel::Io, Epidemic)
             .population(CountConfiguration::from_groups([(true, 1), (false, 3)]))
@@ -1306,6 +1345,81 @@ mod tests {
         assert!(matches!(
             err,
             Err(EngineError::InvalidPopulation { len: 1 })
+        ));
+    }
+
+    #[test]
+    fn topology_builder_runs_on_restricted_graphs() {
+        let ring = Topology::ring(8).unwrap();
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(
+                (0..8).map(|i| i == 0).collect::<Vec<_>>(),
+            ))
+            .topology(ring.clone())
+            .seed(3)
+            .build()
+            .unwrap();
+        let out = runner.run_until(200_000, |c| c.as_slice().iter().all(|b| *b));
+        assert!(out.is_satisfied(), "epidemic crosses the ring");
+        // Every recorded step respects the graph: spot-check via trace.
+        let mut traced = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false, false, false]))
+            .topology(Topology::ring(4).unwrap())
+            .record_trace(true)
+            .seed(5)
+            .build()
+            .unwrap();
+        traced.run(300).unwrap();
+        let ring4 = Topology::ring(4).unwrap();
+        for rec in traced.trace().unwrap().iter() {
+            assert!(ring4.contains_arc(
+                rec.interaction.starter().index(),
+                rec.interaction.reactor().index()
+            ));
+        }
+    }
+
+    #[test]
+    fn builder_rejects_topology_population_mismatch() {
+        let err = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .config(Configuration::new(vec![true, false, false]))
+            .topology(Topology::ring(8).unwrap())
+            .build()
+            .err()
+            .expect("mismatched sizes must not build");
+        assert!(matches!(
+            err,
+            EngineError::TopologySizeMismatch {
+                topology: 8,
+                population: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn count_backend_negotiates_topologies_by_law() {
+        use ppfts_population::CountConfiguration;
+        // A complete topology deals the uniform law: counts accept it.
+        let ok = TwoWayRunner::builder(TwoWayModel::Tw, pairing())
+            .population(CountConfiguration::from_groups([('c', 3), ('p', 3)]))
+            .topology(Topology::complete(6).unwrap())
+            .trace_sink(StatsOnly)
+            .build();
+        assert!(ok.is_ok());
+        // A restricted topology cannot be realized from counts: typed
+        // builder error, not a mid-run panic.
+        let err = TwoWayRunner::builder(TwoWayModel::Tw, pairing())
+            .population(CountConfiguration::from_groups([('c', 3), ('p', 3)]))
+            .topology(Topology::ring(6).unwrap())
+            .trace_sink(StatsOnly)
+            .build()
+            .err()
+            .expect("restricted topology on counts must not build");
+        assert!(matches!(
+            err,
+            EngineError::CompleteInteractionLawRequired {
+                law: crate::InteractionLaw::Topological
+            }
         ));
     }
 

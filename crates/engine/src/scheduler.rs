@@ -6,15 +6,70 @@
 //! yields a globally fair execution with probability 1 (every configuration
 //! set that stays reachable infinitely often is entered infinitely often),
 //! which is the standard probabilistic realization of GF used throughout
-//! the literature. [`ScriptedScheduler`] realizes the *specific* interaction
+//! the literature. [`TopologyScheduler`] generalizes it to restricted
+//! interaction graphs (uniform random edge, both orientations) — the
+//! uniform scheduler *is* its complete-graph instance, bit-identically.
+//! [`ScriptedScheduler`] realizes the *specific* interaction
 //! sequences that the paper's impossibility constructions require, and
 //! [`RoundRobinScheduler`] provides a deterministic fair rotation useful in
 //! ablation benches.
+//!
+//! Schedulers advertise their [`InteractionLaw`], the typed capability
+//! that backends and builders negotiate over: a count-based population
+//! backend can only realize the uniform complete-graph law, and a
+//! topology-bound scheduler pins the population size — both mismatches
+//! are rejected when the runner is built, not mid-run.
 
 use std::collections::VecDeque;
 
-use ppfts_population::Interaction;
+use ppfts_population::{Interaction, Topology};
 use rand::{Rng, RngCore};
+
+/// The probability law a [`Scheduler`] deals interactions from — the
+/// typed half of backend/scheduler capability negotiation.
+///
+/// Runner builders consult this instead of probing behavior: a
+/// count-based population backend
+/// ([`CountConfiguration`](ppfts_population::CountConfiguration)) has no
+/// agent identities and realizes the interaction distribution directly
+/// from state counts, which is only possible for
+/// [`Uniform`](InteractionLaw::Uniform); assembling it with any other law
+/// fails at `build()` with
+/// [`EngineError::CompleteInteractionLawRequired`](crate::EngineError::CompleteInteractionLawRequired).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InteractionLaw {
+    /// Uniform over all ordered pairs — the complete-graph law, stateless
+    /// in the agent indices it deals. The only law a count-based backend
+    /// can realize from state multiplicities alone.
+    Uniform,
+    /// Uniform over the arcs of a fixed, non-complete interaction
+    /// [`Topology`]. Requires per-agent identities (which pairs may meet
+    /// depends on *which* agents hold which states).
+    Topological,
+    /// Distinguishes agents by index — scripted prefixes, rotations, or
+    /// any other stateful index-addressed dealing.
+    IndexAddressed,
+}
+
+impl InteractionLaw {
+    /// Whether a count-based backend can realize this law from state
+    /// multiplicities alone (true only for the uniform complete-graph
+    /// law).
+    pub fn count_realizable(self) -> bool {
+        matches!(self, InteractionLaw::Uniform)
+    }
+}
+
+impl std::fmt::Display for InteractionLaw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InteractionLaw::Uniform => write!(f, "uniform (complete graph)"),
+            InteractionLaw::Topological => write!(f, "topological (restricted graph)"),
+            InteractionLaw::IndexAddressed => write!(f, "index-addressed"),
+        }
+    }
+}
 
 /// A source of interactions for a population of `n` agents.
 ///
@@ -31,18 +86,25 @@ pub trait Scheduler {
     /// size at construction.
     fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction;
 
-    /// Whether this scheduler's law is the uniform ordered-pair
-    /// distribution, *stateless* in the agent indices it deals.
+    /// The probability law this scheduler deals from; see
+    /// [`InteractionLaw`] for how builders negotiate over it.
     ///
-    /// Count-based population backends
-    /// ([`CountConfiguration`](ppfts_population::CountConfiguration))
-    /// have no agent identities, so they realize the interaction
-    /// distribution directly from state counts — which is only possible
-    /// for the uniform law. Schedulers that script, rotate, or otherwise
-    /// distinguish agents must leave this at the default `false`; a
-    /// count-backed runner refuses (panics) to draw from them.
-    fn is_uniform(&self) -> bool {
-        false
+    /// The conservative default is
+    /// [`IndexAddressed`](InteractionLaw::IndexAddressed) — custom
+    /// schedulers that do realize the uniform law must override this to
+    /// become eligible for count-based backends.
+    fn law(&self) -> InteractionLaw {
+        InteractionLaw::IndexAddressed
+    }
+
+    /// The exact population size this scheduler is bound to, if any.
+    ///
+    /// Topology-bound schedulers return `Some(topology.len())`; builders
+    /// reject a runner whose population size disagrees
+    /// ([`EngineError::TopologySizeMismatch`](crate::EngineError::TopologySizeMismatch))
+    /// instead of letting `next_interaction` panic mid-run.
+    fn required_population(&self) -> Option<usize> {
+        None
     }
 }
 
@@ -50,13 +112,22 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction {
         (**self).next_interaction(n, rng)
     }
-    fn is_uniform(&self) -> bool {
-        (**self).is_uniform()
+    fn law(&self) -> InteractionLaw {
+        (**self).law()
+    }
+    fn required_population(&self) -> Option<usize> {
+        (**self).required_population()
     }
 }
 
 /// Uniform-random ordered pairs: the probabilistic realization of global
 /// fairness.
+///
+/// This is exactly the complete-graph instance of [`TopologyScheduler`]
+/// — `TopologyScheduler::new(Topology::complete(n)?)` deals the same
+/// interactions from the same RNG stream — kept as a zero-size,
+/// population-size-agnostic type because it is the default of every
+/// runner builder.
 ///
 /// # Example
 ///
@@ -91,8 +162,80 @@ impl Scheduler for UniformScheduler {
         Interaction::new(s, r).expect("distinct by construction")
     }
 
-    fn is_uniform(&self) -> bool {
-        true
+    fn law(&self) -> InteractionLaw {
+        InteractionLaw::Uniform
+    }
+}
+
+/// Uniform random edges of an arbitrary interaction [`Topology`], dealt
+/// in both orientations — the graph-aware generalization of
+/// [`UniformScheduler`].
+///
+/// Each call draws one *arc* (ordered edge) uniformly from the topology's
+/// CSR arc array, so restricted-graph scheduling costs the same O(1) per
+/// step as complete-graph scheduling. On the complete topology the draw
+/// consumes the RNG exactly like [`UniformScheduler`], making
+/// complete-topology runs bit-identical to classic uniform runs
+/// (`tests/topology_equivalence.rs` certifies this).
+///
+/// On a connected topology every arc has probability `1/2m` per step, so
+/// every edge is scheduled infinitely often in expectation — the
+/// globally-fair-with-probability-1 argument for the uniform scheduler
+/// carries over verbatim (see `ppfts-verify`'s coverage audit).
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::{Scheduler, TopologyScheduler};
+/// use ppfts_population::Topology;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let ring = Topology::ring(6)?;
+/// let mut sched = TopologyScheduler::new(ring);
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let i = sched.next_interaction(6, &mut rng);
+/// let (s, r) = (i.starter().index(), i.reactor().index());
+/// assert!(sched.topology().contains_arc(s, r));
+/// # Ok::<(), ppfts_population::TopologyError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopologyScheduler {
+    topology: Topology,
+}
+
+impl TopologyScheduler {
+    /// Creates a scheduler dealing uniform random arcs of `topology`.
+    pub fn new(topology: Topology) -> Self {
+        TopologyScheduler { topology }
+    }
+
+    /// The interaction graph being scheduled over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+impl Scheduler for TopologyScheduler {
+    fn next_interaction(&mut self, n: usize, rng: &mut dyn RngCore) -> Interaction {
+        assert_eq!(
+            n,
+            self.topology.len(),
+            "topology built for {} agents, population has {n}; builders reject this",
+            self.topology.len()
+        );
+        self.topology.sample_arc(rng)
+    }
+
+    fn law(&self) -> InteractionLaw {
+        if self.topology.is_complete() {
+            InteractionLaw::Uniform
+        } else {
+            InteractionLaw::Topological
+        }
+    }
+
+    fn required_population(&self) -> Option<usize> {
+        Some(self.topology.len())
     }
 }
 
@@ -288,6 +431,64 @@ mod tests {
                 assert!(seen.insert(sched.next_interaction(5, &mut rng)));
             }
         }
+    }
+
+    #[test]
+    fn laws_classify_the_built_in_schedulers() {
+        assert_eq!(UniformScheduler::new().law(), InteractionLaw::Uniform);
+        assert!(UniformScheduler::new().law().count_realizable());
+        assert_eq!(
+            RoundRobinScheduler::new().law(),
+            InteractionLaw::IndexAddressed
+        );
+        assert_eq!(
+            ScriptedScheduler::new([], UniformScheduler::new()).law(),
+            InteractionLaw::IndexAddressed
+        );
+        let complete = TopologyScheduler::new(Topology::complete(4).unwrap());
+        assert_eq!(complete.law(), InteractionLaw::Uniform);
+        assert_eq!(complete.required_population(), Some(4));
+        let ring = TopologyScheduler::new(Topology::ring(5).unwrap());
+        assert_eq!(ring.law(), InteractionLaw::Topological);
+        assert!(!ring.law().count_realizable());
+        assert_eq!(UniformScheduler::new().required_population(), None);
+    }
+
+    #[test]
+    fn topology_scheduler_on_complete_matches_uniform_bitwise() {
+        let mut uniform = UniformScheduler::new();
+        let mut topo = TopologyScheduler::new(Topology::complete(7).unwrap());
+        let mut rng_a = SmallRng::seed_from_u64(23);
+        let mut rng_b = SmallRng::seed_from_u64(23);
+        for _ in 0..1_000 {
+            assert_eq!(
+                uniform.next_interaction(7, &mut rng_a),
+                topo.next_interaction(7, &mut rng_b)
+            );
+        }
+        assert_eq!(rng_a, rng_b, "identical RNG consumption");
+    }
+
+    #[test]
+    fn topology_scheduler_deals_only_graph_arcs() {
+        let ring = Topology::ring(6).unwrap();
+        let mut sched = TopologyScheduler::new(ring.clone());
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3_000 {
+            let i = sched.next_interaction(6, &mut rng);
+            assert!(ring.contains_arc(i.starter().index(), i.reactor().index()));
+            seen.insert(i);
+        }
+        assert_eq!(seen.len(), ring.arc_count(), "every arc dealt eventually");
+    }
+
+    #[test]
+    #[should_panic(expected = "topology built for")]
+    fn topology_scheduler_rejects_foreign_population_size() {
+        let mut sched = TopologyScheduler::new(Topology::ring(6).unwrap());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = sched.next_interaction(5, &mut rng);
     }
 
     #[test]

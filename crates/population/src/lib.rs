@@ -19,6 +19,9 @@
 //!   multiplicities only, O(distinct states) memory for giant anonymous
 //!   runs,
 //! * [`Multiset`] — order-insensitive view of a configuration,
+//! * [`Topology`] — first-class interaction graphs (complete, ring, star,
+//!   grid, random-regular, Erdős–Rényi) with CSR adjacency and O(1)
+//!   uniform arc sampling, the data behind graph-aware scheduling,
 //! * [`TwoWayProtocol`] — the transition function `δ_P` of a protocol in the
 //!   standard two-way model,
 //! * [`Semantics`] — input/output conventions used to state correctness
@@ -64,6 +67,7 @@ mod population;
 mod protocol;
 mod semantics;
 mod state;
+mod topology;
 
 pub use agent::AgentId;
 pub use config::{Configuration, DenseConfiguration};
@@ -75,3 +79,4 @@ pub use population::Population;
 pub use protocol::{DeltaRule, FunctionProtocol, SymmetryReport, TableProtocol, TwoWayProtocol};
 pub use semantics::{unanimous_output, unanimous_output_counts, ConsensusOutput, Semantics};
 pub use state::{EnumerableStates, State};
+pub use topology::{Topology, TopologyClass, TopologyError};

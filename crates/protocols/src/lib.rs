@@ -24,7 +24,11 @@
 //! * [`SemilinearProtocol`] — a compiler from arbitrary semilinear
 //!   predicates (boolean combinations of threshold and remainder atoms —
 //!   the exact expressive power of standard population protocols) to
-//!   concrete two-way protocols.
+//!   concrete two-way protocols;
+//! * [`scenario`] — graph-aware workloads: epidemic broadcast and
+//!   max-gossip placed on explicit interaction
+//!   [`Topology`](ppfts_population::Topology)s (ring, star, grid,
+//!   random-regular), the payloads of experiment E12.
 //!
 //! Every protocol implements
 //! [`TwoWayProtocol`](ppfts_population::TwoWayProtocol); those that compute
@@ -43,6 +47,7 @@ mod majority;
 mod pairing;
 mod product;
 mod remainder;
+pub mod scenario;
 pub mod semilinear;
 
 pub use epidemic::Epidemic;

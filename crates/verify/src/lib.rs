@@ -12,7 +12,9 @@
 //!   [`model_check`] explores the *exact*
 //!   reachable configuration graph of small systems and decides
 //!   stabilization under global fairness via terminal strongly-connected
-//!   components.
+//!   components; [`topology_audit`] certifies graph-aware scheduling
+//!   fairness (every edge of a connected topology dealt uniformly, no
+//!   off-graph interactions in a recorded trace).
 //! * **Negative** — the impossibility constructions of §3 as executable
 //!   attack builders: [`attack::lemma1_attack`] assembles the run `I*` of
 //!   Lemma 1 / Theorem 3.1 and drives a real simulator into a Pairing
@@ -34,6 +36,7 @@ pub mod attack;
 pub mod model_check;
 pub mod optimist;
 pub mod pairing_audit;
+pub mod topology_audit;
 
 pub use ablation::{always_elects_one_leader, rummy_ablation, sid_leader_graph, RummyAblation};
 pub use attack::{
@@ -44,4 +47,7 @@ pub use model_check::{explore_one_way, explore_two_way, ExploreError, StateGraph
 pub use optimist::{Optimist, OptimistState};
 pub use pairing_audit::{
     audit_pairing, audit_pairing_batched, pairing_converged, AuditReport, PairingViolation,
+};
+pub use topology_audit::{
+    audit_scheduler_coverage, audit_trace_topology, CoverageReport, TopologyViolation,
 };

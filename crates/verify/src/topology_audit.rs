@@ -1,0 +1,253 @@
+//! Fairness and coverage audits for graph-aware scheduling.
+//!
+//! Restricted interaction topologies change what *global fairness* means:
+//! the scheduler must deal every **edge of the graph** infinitely often,
+//! not every ordered pair. Two checkers certify that property for real
+//! executions:
+//!
+//! * [`audit_scheduler_coverage`] drives a
+//!   [`TopologyScheduler`](ppfts_engine::TopologyScheduler) for a fixed
+//!   number of draws and tallies per-arc hit counts — the statistical
+//!   witness that every arc of a connected topology has probability
+//!   `1/2m` per step and is therefore scheduled infinitely often in
+//!   expectation;
+//! * [`audit_trace_topology`] replays a recorded [`Trace`] against a
+//!   topology and rejects the first interaction that is *not* a graph
+//!   arc — the safety half (a graph-aware run must never deal an edge
+//!   the graph does not have), plus the same coverage tally for the
+//!   arcs it did deal.
+//!
+//! Both return a [`CoverageReport`] whose `min_hits`/`max_hits` bracket
+//! the empirical arc distribution; [`CoverageReport::max_deviation`]
+//! turns it into the chi-square-style uniformity figure the statistical
+//! tests assert on.
+
+use ppfts_engine::{Scheduler, TopologyScheduler, Trace};
+use ppfts_population::{Interaction, State, Topology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use std::error::Error;
+use std::fmt;
+
+/// Per-arc hit statistics of an execution (or scheduler stream) over a
+/// topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Arcs (ordered edges) the topology has.
+    pub arcs: usize,
+    /// Arcs hit at least once.
+    pub covered: usize,
+    /// Total draws tallied.
+    pub draws: u64,
+    /// Hits of the coldest arc.
+    pub min_hits: u64,
+    /// Hits of the hottest arc.
+    pub max_hits: u64,
+}
+
+impl CoverageReport {
+    /// Whether every arc was dealt at least once.
+    pub fn is_full(&self) -> bool {
+        self.covered == self.arcs
+    }
+
+    /// Expected hits per arc under the uniform-arc law.
+    pub fn expected_hits(&self) -> f64 {
+        self.draws as f64 / self.arcs.max(1) as f64
+    }
+
+    /// Largest relative deviation of any arc from the uniform
+    /// expectation: `max(|hits − e| / e)` over the coldest and hottest
+    /// arcs. Small (→ 0 as draws grow) iff the stream is uniform over
+    /// arcs.
+    pub fn max_deviation(&self) -> f64 {
+        let e = self.expected_hits();
+        if e == 0.0 {
+            return 0.0;
+        }
+        let lo = (e - self.min_hits as f64).abs() / e;
+        let hi = (self.max_hits as f64 - e).abs() / e;
+        lo.max(hi)
+    }
+}
+
+/// A recorded interaction that the audited topology does not contain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyViolation {
+    /// Step index of the offending record.
+    pub index: u64,
+    /// The interaction that is not a graph arc.
+    pub interaction: Interaction,
+}
+
+impl fmt::Display for TopologyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {} dealt {}, which is not an edge of the topology",
+            self.index, self.interaction
+        )
+    }
+}
+
+impl Error for TopologyViolation {}
+
+/// Tallies `draws` interactions from a fresh
+/// [`TopologyScheduler`](ppfts_engine::TopologyScheduler) over
+/// `topology`, seeded with `seed`.
+///
+/// With `draws` a reasonable multiple of `topology.arc_count()`, a
+/// *connected* topology must come back [`is_full`](CoverageReport::is_full)
+/// with [`max_deviation`](CoverageReport::max_deviation) shrinking as
+/// `O(1/√draws)` — the executable form of "every edge is scheduled
+/// infinitely often in expectation".
+pub fn audit_scheduler_coverage(topology: &Topology, draws: u64, seed: u64) -> CoverageReport {
+    let mut scheduler = TopologyScheduler::new(topology.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = topology.len();
+    let mut hits = vec![0u64; topology.arc_count()];
+    for _ in 0..draws {
+        let i = scheduler.next_interaction(n, &mut rng);
+        let a = topology
+            .arc_index(i.starter().index(), i.reactor().index())
+            .expect("TopologyScheduler deals only graph arcs");
+        hits[a] += 1;
+    }
+    report_from_hits(&hits, draws)
+}
+
+/// Replays `trace` against `topology`: fails on the first recorded
+/// interaction that is not a graph arc, otherwise reports arc coverage.
+///
+/// # Errors
+///
+/// [`TopologyViolation`] naming the first off-graph step.
+pub fn audit_trace_topology<Q: State, F>(
+    trace: &Trace<Q, F>,
+    topology: &Topology,
+) -> Result<CoverageReport, TopologyViolation> {
+    let mut hits = vec![0u64; topology.arc_count()];
+    let mut draws = 0u64;
+    for rec in trace.iter() {
+        let (s, r) = (
+            rec.interaction.starter().index(),
+            rec.interaction.reactor().index(),
+        );
+        match topology.arc_index(s, r) {
+            Some(a) => hits[a] += 1,
+            None => {
+                return Err(TopologyViolation {
+                    index: rec.index,
+                    interaction: rec.interaction,
+                })
+            }
+        }
+        draws += 1;
+    }
+    Ok(report_from_hits(&hits, draws))
+}
+
+fn report_from_hits(hits: &[u64], draws: u64) -> CoverageReport {
+    CoverageReport {
+        arcs: hits.len(),
+        covered: hits.iter().filter(|&&h| h > 0).count(),
+        draws,
+        min_hits: hits.iter().copied().min().unwrap_or(0),
+        max_hits: hits.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfts_engine::{OneWayModel, OneWayProgram, OneWayRunner, UniformScheduler};
+    use ppfts_population::Configuration;
+
+    struct Or;
+    impl OneWayProgram for Or {
+        type State = bool;
+        fn on_receive(&self, s: &bool, r: &bool) -> bool {
+            *s || *r
+        }
+    }
+
+    #[test]
+    fn scheduler_covers_every_arc_roughly_uniformly() {
+        for t in [
+            Topology::ring(12).unwrap(),
+            Topology::grid2d(3, 4).unwrap(),
+            Topology::random_regular(12, 3, 1).unwrap(),
+            Topology::complete(8).unwrap(),
+        ] {
+            let draws = (t.arc_count() as u64) * 500;
+            let report = audit_scheduler_coverage(&t, draws, 42);
+            assert!(report.is_full(), "{t}: cold arcs {report:?}");
+            assert!(
+                report.max_deviation() < 0.35,
+                "{t}: deviation {} too large ({report:?})",
+                report.max_deviation()
+            );
+        }
+    }
+
+    #[test]
+    fn deviation_shrinks_with_more_draws() {
+        let t = Topology::ring(10).unwrap();
+        let short = audit_scheduler_coverage(&t, 2_000, 7);
+        let long = audit_scheduler_coverage(&t, 200_000, 7);
+        assert!(long.max_deviation() < short.max_deviation());
+        assert!(long.max_deviation() < 0.1);
+    }
+
+    #[test]
+    fn traced_topology_run_passes_the_audit() {
+        let ring = Topology::ring(6).unwrap();
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Or)
+            .config(Configuration::new(vec![
+                true, false, false, false, false, false,
+            ]))
+            .topology(ring.clone())
+            .record_trace(true)
+            .seed(4)
+            .build()
+            .unwrap();
+        runner.run(4_000).unwrap();
+        let report = audit_trace_topology(runner.trace().unwrap(), &ring).unwrap();
+        assert_eq!(report.draws, 4_000);
+        assert!(report.is_full(), "4k draws over 12 arcs: {report:?}");
+    }
+
+    #[test]
+    fn uniform_run_violates_a_ring_audit() {
+        // The complete-graph uniform scheduler deals chords the ring
+        // does not have; the audit names the first one.
+        let ring = Topology::ring(8).unwrap();
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Or)
+            .config(Configuration::new(vec![false; 8]))
+            .scheduler(UniformScheduler::new())
+            .record_trace(true)
+            .seed(2)
+            .build()
+            .unwrap();
+        runner.run(200).unwrap();
+        let err = audit_trace_topology(runner.trace().unwrap(), &ring).unwrap_err();
+        let (s, r) = (
+            err.interaction.starter().index(),
+            err.interaction.reactor().index(),
+        );
+        assert!(!ring.contains_arc(s, r));
+        assert!(err.to_string().contains("not an edge"));
+    }
+
+    #[test]
+    fn empty_trace_reports_zero_coverage() {
+        let ring = Topology::ring(4).unwrap();
+        let trace: Trace<bool, ppfts_engine::OneWayFault> = Trace::new();
+        let report = audit_trace_topology(&trace, &ring).unwrap();
+        assert_eq!(report.covered, 0);
+        assert_eq!(report.draws, 0);
+        assert!(!report.is_full());
+        assert_eq!(report.max_deviation(), 0.0);
+    }
+}
