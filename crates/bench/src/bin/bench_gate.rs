@@ -1,0 +1,73 @@
+//! CI bench-regression gate.
+//!
+//! Compares a freshly measured criterion-shim JSON (`--current`, written
+//! via `BENCH_JSON=… cargo bench`) against the committed baseline
+//! (`--baseline BENCH_RESULTS.json`), prints the markdown delta table to
+//! stdout, and exits 1 iff any bench mean regressed past the tolerance
+//! (default 2.5×). See `ppfts_bench::regression` for the comparison
+//! semantics; only benches present in *both* files are compared, so CI
+//! can measure a stable subset.
+//!
+//! ```text
+//! cargo run -p ppfts-bench --bin bench_gate -- \
+//!     --baseline BENCH_RESULTS.json --current bench_current.json [--tolerance 2.5]
+//! ```
+
+use std::process::ExitCode;
+
+use ppfts_bench::regression::{compare, parse_report};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --baseline <BENCH_RESULTS.json> --current <bench_current.json> \
+         [--tolerance <factor>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut tolerance = 2.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next(),
+            "--current" => current_path = args.next(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|t| *t >= 1.0)
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        usage()
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let parse = |path: &str, text: &str| match parse_report(text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {path} is not a criterion-shim report: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = parse(&baseline_path, &read(&baseline_path));
+    let current = parse(&current_path, &read(&current_path));
+    let comparison = compare(&baseline, &current, tolerance);
+    println!("{}", comparison.markdown());
+    if comparison.passes() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

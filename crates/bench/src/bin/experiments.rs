@@ -1,4 +1,4 @@
-//! Runs the full experiment suite (DESIGN.md E1–E12) and prints the
+//! Runs the experiment suite (DESIGN.md E1–E13) and prints the
 //! paper-claim-vs-measured tables recorded in EXPERIMENTS.md.
 //!
 //! Convergence measurements (E5, E7, E8) run on the engine's batched
@@ -7,10 +7,15 @@
 //! transient mid-handshake projections and step counts are batch aligned.
 //!
 //! Run with: `cargo run --release -p ppfts-bench --bin experiments`
+//!
+//! Positional arguments select experiments by id (`experiments e12 e13`
+//! runs only those rows; no arguments runs everything), and `--smoke`
+//! shrinks sizes, seeds and budgets to CI-smoke scale.
 
 use ppfts_bench::{
-    measure_epidemic_giant, measure_epidemic_giant_dense, measure_epidemic_topology, measure_named,
-    measure_naming_phase, measure_sid, measure_skno, skno_peak_tokens,
+    e13_families, measure_epidemic_giant, measure_epidemic_giant_dense, measure_epidemic_topology,
+    measure_named, measure_naming_phase, measure_sid, measure_sid_epidemic_graphical, measure_skno,
+    measure_skno_epidemic_graphical, skno_peak_tokens,
 };
 use ppfts_core::{fastest_transition_time, Sid, SidState, Skno, SknoState};
 use ppfts_engine::hierarchy::{direct_inclusions, includes};
@@ -25,212 +30,375 @@ fn header(id: &str, title: &str) {
     println!("{}", "=".repeat(72));
 }
 
+/// CLI selection: which experiments to run, at which scale.
+struct Selection {
+    ids: Vec<String>,
+    smoke: bool,
+}
+
+impl Selection {
+    /// The experiment ids this binary knows.
+    const KNOWN: [&'static str; 13] = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    ];
+
+    fn from_args() -> Self {
+        let mut ids = Vec::new();
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--smoke" => smoke = true,
+                id if id.starts_with('-') => {
+                    eprintln!("unknown flag {id}; usage: experiments [--smoke] [e1 e2 …]");
+                    std::process::exit(2);
+                }
+                id => {
+                    let id = id.to_ascii_lowercase();
+                    if !Self::KNOWN.contains(&id.as_str()) {
+                        eprintln!(
+                            "unknown experiment id `{id}`; known ids: {}",
+                            Self::KNOWN.join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                    ids.push(id);
+                }
+            }
+        }
+        Selection { ids, smoke }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.ids.is_empty() || self.ids.iter().any(|want| want == id)
+    }
+}
+
 fn main() {
-    let seeds = 10u64;
+    let selection = Selection::from_args();
+    let seeds = if selection.smoke { 2u64 } else { 10u64 };
 
-    header("E1", "Figure 1: hierarchy arrows and closure");
-    println!(
-        "{} direct arrows; closure checks:",
-        direct_inclusions().len()
-    );
-    let io = Model::OneWay(OneWayModel::Io);
-    let tw = Model::TwoWay(ppfts_engine::TwoWayModel::Tw);
-    println!("  includes(IO, TW) = {}", includes(io, tw));
-    println!("  includes(TW, IO) = {}", includes(tw, io));
-    println!("  (full matrix: cargo run --example model_hierarchy)");
+    if selection.wants("e1") {
+        header("E1", "Figure 1: hierarchy arrows and closure");
+        println!(
+            "{} direct arrows; closure checks:",
+            direct_inclusions().len()
+        );
+        let io = Model::OneWay(OneWayModel::Io);
+        let tw = Model::TwoWay(ppfts_engine::TwoWayModel::Tw);
+        println!("  includes(IO, TW) = {}", includes(io, tw));
+        println!("  includes(TW, IO) = {}", includes(tw, io));
+        println!("  (full matrix: cargo run --example model_hierarchy)");
+    }
 
-    header(
-        "E2",
-        "Lemma 1 / Theorem 3.1: FTT and the omission attack on SKnO (I3)",
-    );
-    println!(
-        "{:>3} | {:>4} | {:>9} | {:>9} | {:>9} | verdict",
-        "o", "FTT", "producers", "paired", "omissions"
-    );
-    for o in 1..=3u32 {
-        let report = lemma1_attack(
+    if selection.wants("e2") {
+        header(
+            "E2",
+            "Lemma 1 / Theorem 3.1: FTT and the omission attack on SKnO (I3)",
+        );
+        println!(
+            "{:>3} | {:>4} | {:>9} | {:>9} | {:>9} | verdict",
+            "o", "FTT", "producers", "paired", "omissions"
+        );
+        for o in 1..=3u32 {
+            let report = lemma1_attack(
+                OneWayModel::I3,
+                Skno::new(Pairing, o),
+                SknoState::new,
+                128,
+                512,
+            )
+            .expect("attack builds");
+            let paired = match report.outcome {
+                AttackOutcome::SafetyViolated { paired, .. } => paired,
+                _ => panic!("expected violation"),
+            };
+            println!(
+                "{:>3} | {:>4} | {:>9} | {:>9} | {:>9} | safety violated (paper: ≥ t+1 = {})",
+                o,
+                report.ftt,
+                report.producers,
+                paired,
+                report.omissions_in_run,
+                report.ftt + 1,
+            );
+        }
+    }
+
+    if selection.wants("e3") {
+        header(
+            "E3",
+            "Theorem 3.2: the weak models I1/I2 fall without omissions",
+        );
+        for m in [OneWayModel::I1, OneWayModel::I2] {
+            let report = thm32_attack(m, Optimist::new(Pairing), OptimistState::new, 64, 256)
+                .expect("attack builds");
+            println!(
+                "{m}: NO1-resilient Optimist broken with {} omissions in the run → {:?}",
+                report.omissions_in_run, report.outcome
+            );
+        }
+    }
+
+    if selection.wants("e4") {
+        header("E4", "Theorem 3.3: graceful degradation threshold ≤ 1");
+        let deg = ppfts_verify::degradation_report(
             OneWayModel::I3,
-            Skno::new(Pairing, o),
+            Skno::new(Pairing, 1),
             SknoState::new,
             128,
             512,
         )
         .expect("attack builds");
-        let paired = match report.outcome {
-            AttackOutcome::SafetyViolated { paired, .. } => paired,
-            _ => panic!("expected violation"),
+        println!(
+            "SKnO(o=1): tolerates one omission = {}; beyond the threshold: {:?}",
+            deg.tolerates_one_omission, deg.beyond_threshold
+        );
+        println!("Theorem 3.3 corroborated: {}", deg.corroborates_thm33());
+    }
+
+    if selection.wants("e5") {
+        header(
+            "E5",
+            "Theorem 4.1: SKnO convergence on Pairing (I3, adversary at full budget)",
+        );
+        println!(
+            "    o | {:>5} | {:>11} | {:>12} | {:>10}",
+            "n", "converged", "mean steps", "per-sim"
+        );
+        let sizes: &[usize] = if selection.smoke {
+            &[4, 8]
+        } else {
+            &[4, 8, 16]
         };
+        for o in [0u32, 1, 2] {
+            for &n in sizes {
+                let c = measure_skno(n, o, seeds, 30_000_000);
+                println!("{:>5} | {}", o, c.row());
+            }
+        }
+    }
+
+    if selection.wants("e6") {
+        header(
+            "E6",
+            "Corollary 1 / Theorem 4.1: SKnO memory audit (peak tokens per agent)",
+        );
         println!(
-            "{:>3} | {:>4} | {:>9} | {:>9} | {:>9} | safety violated (paper: ≥ t+1 = {})",
-            o,
-            report.ftt,
-            report.producers,
-            paired,
-            report.omissions_in_run,
-            report.ftt + 1,
+            "{:>3} | {:>5} | {:>12} | bound Θ((o+1)·|Q|·log n): tokens ∝ (o+1)",
+            "o", "n", "peak tokens"
+        );
+        for o in [0u32, 1, 2, 3] {
+            for n in [4usize, 8] {
+                let peak = skno_peak_tokens(n, o, 50_000, 11);
+                println!("{:>3} | {:>5} | {:>12}", o, n, peak);
+            }
+        }
+    }
+
+    if selection.wants("e7") {
+        header(
+            "E7",
+            "Theorem 4.5: SID convergence on Pairing (IO, unique IDs)",
+        );
+        println!(
+            "{:>5} | {:>11} | {:>12} | {:>10}",
+            "n", "converged", "mean steps", "per-sim"
+        );
+        let sizes: &[usize] = if selection.smoke {
+            &[4, 8]
+        } else {
+            &[4, 8, 16, 32, 64]
+        };
+        for &n in sizes {
+            let c = measure_sid(n, seeds, 30_000_000);
+            println!("{}", c.row());
+        }
+        let ftt = fastest_transition_time(
+            OneWayModel::Io,
+            &Sid::new(Pairing),
+            &Pairing,
+            SidState::new(0, PairingState::Consumer),
+            SidState::new(1, PairingState::Producer),
+            16,
+        )
+        .expect("SID transitions");
+        println!(
+            "measured FTT(SID) = {} (paper's handshake: pair, lock, complete)",
+            ftt.steps
         );
     }
 
-    header(
-        "E3",
-        "Theorem 3.2: the weak models I1/I2 fall without omissions",
-    );
-    for m in [OneWayModel::I1, OneWayModel::I2] {
-        let report = thm32_attack(m, Optimist::new(Pairing), OptimistState::new, 64, 256)
-            .expect("attack builds");
+    if selection.wants("e8") {
+        header(
+            "E8",
+            "Theorem 4.6 / Lemma 3: naming with knowledge of n, then simulation",
+        );
+        println!("naming phase only:");
         println!(
-            "{m}: NO1-resilient Optimist broken with {} omissions in the run → {:?}",
-            report.omissions_in_run, report.outcome
+            "{:>5} | {:>11} | {:>12} | {:>10}",
+            "n", "converged", "mean steps", "(n/a)"
+        );
+        let sizes: &[usize] = if selection.smoke {
+            &[4, 8]
+        } else {
+            &[4, 8, 16, 32]
+        };
+        for &n in sizes {
+            let c = measure_naming_phase(n, seeds, 30_000_000);
+            println!("{}", c.row());
+        }
+        println!("naming + simulated Pairing:");
+        let sizes: &[usize] = if selection.smoke { &[4] } else { &[4, 8, 16] };
+        for &n in sizes {
+            let c = measure_named(n, seeds, 60_000_000);
+            println!("{}", c.row());
+        }
+    }
+
+    if selection.wants("e9") {
+        header(
+            "E9",
+            "Figure 4: run `cargo run --release -p ppfts-bench --bin figure4`",
+        );
+        println!("(separate binary; every cell is execution-backed)");
+    }
+
+    if selection.wants("e10") {
+        header(
+            "E10",
+            "Flock-of-birds motivation: run `cargo run --example flock_of_birds`",
+        );
+        println!("(threshold detection under omissive I3 with SKnO)");
+    }
+
+    if selection.wants("e11") {
+        header(
+            "E11",
+            "Giant-n epidemic on the count backend (n = 10²…10⁶, Θ(n log n))",
+        );
+        println!("count backend (CountConfiguration — O(1) memory in n):");
+        println!(
+            "{:>7} | {:>11} | {:>12} | {:>10}",
+            "n", "converged", "mean steps", "per-agent"
+        );
+        let sizes: &[usize] = if selection.smoke {
+            &[100, 1_000]
+        } else {
+            &[100, 1_000, 10_000, 100_000, 1_000_000]
+        };
+        for &n in sizes {
+            let c = measure_epidemic_giant(n, if n <= 10_000 { seeds } else { 3 }, 400_000_000);
+            println!("{}", c.row());
+        }
+        println!("dense backend (same workload, O(n) memory + O(n) boundary predicate):");
+        let sizes: &[usize] = if selection.smoke {
+            &[100, 1_000]
+        } else {
+            &[100, 1_000, 10_000, 100_000]
+        };
+        for &n in sizes {
+            let c =
+                measure_epidemic_giant_dense(n, if n <= 10_000 { seeds } else { 3 }, 400_000_000);
+            println!("{}", c.row());
+        }
+    }
+
+    if selection.wants("e12") {
+        header(
+            "E12",
+            "Graph-aware scheduling: epidemic broadcast by interaction topology",
+        );
+        println!(
+            "{:>8} | {:>7} | {:>11} | {:>12} | {:>10}",
+            "family", "n", "converged", "mean steps", "per-agent"
+        );
+        let sizes: &[usize] = if selection.smoke {
+            &[1_000]
+        } else {
+            &[1_000, 10_000]
+        };
+        for &n in sizes {
+            let budget = (n as u64) * (n as u64) * 4;
+            for (family, make) in [
+                (
+                    "ring",
+                    Box::new(move || Topology::ring(n).unwrap())
+                        as Box<dyn Fn() -> Topology + Sync>,
+                ),
+                (
+                    "rr4",
+                    Box::new(move || Topology::random_regular(n, 4, 12).unwrap()),
+                ),
+                ("complete", Box::new(move || Topology::complete(n).unwrap())),
+            ] {
+                let c =
+                    measure_epidemic_topology(&make, if n <= 1_000 { seeds } else { 3 }, budget);
+                println!("{family:>8} | {}", c.row());
+            }
+        }
+        println!(
+            "(edge-draw throughput across n = 10³…10⁵: BENCH_RESULTS.json, e12_topology/draws_*)"
         );
     }
 
-    header("E4", "Theorem 3.3: graceful degradation threshold ≤ 1");
-    let deg = ppfts_verify::degradation_report(
-        OneWayModel::I3,
-        Skno::new(Pairing, 1),
-        SknoState::new,
-        128,
-        512,
-    )
-    .expect("attack builds");
-    println!(
-        "SKnO(o=1): tolerates one omission = {}; beyond the threshold: {:?}",
-        deg.tolerates_one_omission, deg.beyond_threshold
-    );
-    println!("Theorem 3.3 corroborated: {}", deg.corroborates_thm33());
-
-    header(
-        "E5",
-        "Theorem 4.1: SKnO convergence on Pairing (I3, adversary at full budget)",
-    );
-    println!(
-        "    o | {:>5} | {:>11} | {:>12} | {:>10}",
-        "n", "converged", "mean steps", "per-sim"
-    );
-    for o in [0u32, 1, 2] {
-        for n in [4usize, 8, 16] {
-            let c = measure_skno(n, o, seeds, 30_000_000);
-            println!("{:>5} | {}", o, c.row());
+    if selection.wants("e13") {
+        header(
+            "E13",
+            "Graphical fault tolerance: SKnO/SID simulators on restricted graphs",
+        );
+        let sizes: &[usize] = if selection.smoke { &[64] } else { &[64, 256] };
+        let budget: u64 = if selection.smoke {
+            4_000_000
+        } else {
+            48_000_000
+        };
+        let e13_seeds = if selection.smoke { 1 } else { 3 };
+        println!(
+            "graph instrumentation (Φ = conductance, gap = lazy-walk spectral gap; \
+             Cheeger: gap/2 ≤ Φ ≤ √(2·gap)):"
+        );
+        println!("{:>10} | {:>5} | {:>9} | {:>9}", "family", "n", "Φ", "gap");
+        for &n in sizes {
+            for (family, t) in e13_families(n) {
+                println!(
+                    "{:>10} | {:>5} | {:>9.4} | {:>9.4}",
+                    family,
+                    n,
+                    t.conductance(),
+                    t.spectral_profile(4_000).spectral_gap
+                );
+            }
         }
-    }
-
-    header(
-        "E6",
-        "Corollary 1 / Theorem 4.1: SKnO memory audit (peak tokens per agent)",
-    );
-    println!(
-        "{:>3} | {:>5} | {:>12} | bound Θ((o+1)·|Q|·log n): tokens ∝ (o+1)",
-        "o", "n", "peak tokens"
-    );
-    for o in [0u32, 1, 2, 3] {
-        for n in [4usize, 8] {
-            let peak = skno_peak_tokens(n, o, 50_000, 11);
-            println!("{:>3} | {:>5} | {:>12}", o, n, peak);
+        println!(
+            "\nsimulated epidemic through the graphical simulators \
+             (budget {budget} steps/seed; 0-converged rows exhausted it):"
+        );
+        println!(
+            "{:>14} | {:>10} | {:>5} | {:>11} | {:>12} | {:>10}",
+            "simulator", "family", "n", "converged", "mean steps", "per-agent"
+        );
+        for &n in sizes {
+            for (family, t) in e13_families(n) {
+                let c = measure_sid_epidemic_graphical(&t, e13_seeds, budget);
+                println!("{:>14} | {:>10} | {}", "sid", family, c.row());
+                for o in [0u32, 1, 2] {
+                    let c = measure_skno_epidemic_graphical(&t, o, 0.02, e13_seeds, budget);
+                    println!(
+                        "{:>14} | {:>10} | {}",
+                        format!("skno o={o}"),
+                        family,
+                        c.row()
+                    );
+                }
+            }
         }
+        println!(
+            "(the committed n = 64…1024 grid incl. wall-clock: BENCH_RESULTS.json, \
+             e13_graphical_ftt/*)"
+        );
     }
 
-    header(
-        "E7",
-        "Theorem 4.5: SID convergence on Pairing (IO, unique IDs)",
-    );
     println!(
-        "{:>5} | {:>11} | {:>12} | {:>10}",
-        "n", "converged", "mean steps", "per-sim"
+        "\nAll selected experiment tables printed. EXPERIMENTS.md records the expected shapes."
     );
-    for n in [4usize, 8, 16, 32, 64] {
-        let c = measure_sid(n, seeds, 30_000_000);
-        println!("{}", c.row());
-    }
-    let ftt = fastest_transition_time(
-        OneWayModel::Io,
-        &Sid::new(Pairing),
-        &Pairing,
-        SidState::new(0, PairingState::Consumer),
-        SidState::new(1, PairingState::Producer),
-        16,
-    )
-    .expect("SID transitions");
-    println!(
-        "measured FTT(SID) = {} (paper's handshake: pair, lock, complete)",
-        ftt.steps
-    );
-
-    header(
-        "E8",
-        "Theorem 4.6 / Lemma 3: naming with knowledge of n, then simulation",
-    );
-    println!("naming phase only:");
-    println!(
-        "{:>5} | {:>11} | {:>12} | {:>10}",
-        "n", "converged", "mean steps", "(n/a)"
-    );
-    for n in [4usize, 8, 16, 32] {
-        let c = measure_naming_phase(n, seeds, 30_000_000);
-        println!("{}", c.row());
-    }
-    println!("naming + simulated Pairing:");
-    for n in [4usize, 8, 16] {
-        let c = measure_named(n, seeds, 60_000_000);
-        println!("{}", c.row());
-    }
-
-    header(
-        "E9",
-        "Figure 4: run `cargo run --release -p ppfts-bench --bin figure4`",
-    );
-    println!("(separate binary; every cell is execution-backed)");
-
-    header(
-        "E10",
-        "Flock-of-birds motivation: run `cargo run --example flock_of_birds`",
-    );
-    println!("(threshold detection under omissive I3 with SKnO)");
-
-    header(
-        "E11",
-        "Giant-n epidemic on the count backend (n = 10²…10⁶, Θ(n log n))",
-    );
-    println!("count backend (CountConfiguration — O(1) memory in n):");
-    println!(
-        "{:>7} | {:>11} | {:>12} | {:>10}",
-        "n", "converged", "mean steps", "per-agent"
-    );
-    for n in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
-        let c = measure_epidemic_giant(n, if n <= 10_000 { seeds } else { 3 }, 400_000_000);
-        println!("{}", c.row());
-    }
-    println!("dense backend (same workload, O(n) memory + O(n) boundary predicate):");
-    for n in [100usize, 1_000, 10_000, 100_000] {
-        let c = measure_epidemic_giant_dense(n, if n <= 10_000 { seeds } else { 3 }, 400_000_000);
-        println!("{}", c.row());
-    }
-
-    header(
-        "E12",
-        "Graph-aware scheduling: epidemic broadcast by interaction topology",
-    );
-    println!(
-        "{:>8} | {:>7} | {:>11} | {:>12} | {:>10}",
-        "family", "n", "converged", "mean steps", "per-agent"
-    );
-    for n in [1_000usize, 10_000] {
-        let budget = (n as u64) * (n as u64) * 4;
-        for (family, make) in [
-            (
-                "ring",
-                Box::new(move || Topology::ring(n).unwrap()) as Box<dyn Fn() -> Topology + Sync>,
-            ),
-            (
-                "rr4",
-                Box::new(move || Topology::random_regular(n, 4, 12).unwrap()),
-            ),
-            ("complete", Box::new(move || Topology::complete(n).unwrap())),
-        ] {
-            let c = measure_epidemic_topology(&make, if n <= 1_000 { seeds } else { 3 }, budget);
-            println!("{family:>8} | {}", c.row());
-        }
-    }
-    println!("(edge-draw throughput across n = 10³…10⁵: BENCH_RESULTS.json, e12_topology/draws_*)");
-
-    println!("\nAll experiment tables printed. EXPERIMENTS.md records the expected shapes.");
 }

@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod regression;
+
 use ppfts_core::{project, NamedSid, NamedState, Sid, Skno, SknoState};
 use ppfts_engine::convergence::stably;
 use ppfts_engine::{
@@ -285,6 +287,101 @@ pub fn measure_epidemic_topology(
             BATCH,
             stably(scenario::all_infected::<Configuration<bool>>, STABLE_WINDOW),
         );
+        (out, n as u64)
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// Degree of the E13 random-regular family.
+pub const E13_RR_DEGREE: usize = 4;
+
+/// Generation seed of the E13 random graphs.
+pub const E13_TOPOLOGY_SEED: u64 = 12;
+
+/// The E13 graph families at size `n`, in fixed conductance order:
+/// ring, √n×√n grid, random 4-regular, complete. One definition shared
+/// by the `e13_graphical_ftt` bench and the `experiments` binary so the
+/// committed baseline and the printed tables cannot drift onto
+/// different graphs.
+///
+/// # Panics
+///
+/// Panics unless `n` is a perfect square (the grid family needs it).
+pub fn e13_families(n: usize) -> Vec<(&'static str, Topology)> {
+    let side = (n as f64).sqrt() as usize;
+    assert_eq!(side * side, n, "E13 sizes are perfect squares, got {n}");
+    vec![
+        ("ring", Topology::ring(n).expect("n ≥ 4")),
+        ("grid", Topology::grid2d(side, side).expect("side ≥ 2")),
+        (
+            "rr4",
+            Topology::random_regular(n, E13_RR_DEGREE, E13_TOPOLOGY_SEED)
+                .expect("rr4 is feasible at every E13 size"),
+        ),
+        ("complete", Topology::complete(n).expect("n ≥ 2")),
+    ]
+}
+
+/// E13: epidemic broadcast *simulated through graphical `SID`* on an
+/// explicit interaction topology — the fault-free half of the graphical
+/// fault-tolerance experiment. The simulated protocol is the two-way
+/// [`Epidemic`]; `SID`'s three-observation handshake pairs only
+/// graph-adjacent agents, so convergence pays the graph's broadcast time
+/// times the handshake constant. Seeded at vertex 0; run to stable full
+/// *simulated* infection; `steps_per_simulated` normalizes by `n`.
+pub fn measure_sid_epidemic_graphical(topology: &Topology, seeds: u64, budget: u64) -> Convergence {
+    let n = topology.len();
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let sims: Vec<bool> = (0..n).map(|v| v == 0).collect();
+        let mut runner =
+            OneWayRunner::builder(OneWayModel::Io, Sid::graphical(Epidemic, topology.clone()))
+                .config(Sid::<Epidemic>::initial(&sims))
+                .topology(topology.clone())
+                .seed(seed)
+                .trace_sink(StatsOnly)
+                .build()
+                .expect("graphical SID assembles on its own topology");
+        // Simulated infection is monotone, so one boundary confirmation
+        // suffices.
+        let out = runner.run_batched_until(budget, BATCH, |c| project(c).count_state(&true) == n);
+        (out, n as u64)
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// E13: the same simulated-epidemic workload through **graphical
+/// `SKnO`** under model I3, with omission bound `o` and an adversary
+/// spending that budget at `rate`. Graphical `SKnO` keys announcement
+/// runs per origin vertex (anonymous merging is unsound once adjacency
+/// matters), so completing a run of length `o + 1` requires reassembling
+/// tokens of one specific announcer at one of its graph neighbors — the
+/// reassembly cost that makes omission tolerance interact with
+/// conductance, and exactly what this harness charts. Expect `o = 0`
+/// (run length 1) to track the graph's broadcast time and `o ≥ 1` to
+/// degrade sharply as conductance drops; budget-capped cells report
+/// partial convergence honestly via [`Convergence::converged`].
+pub fn measure_skno_epidemic_graphical(
+    topology: &Topology,
+    o: u32,
+    rate: f64,
+    seeds: u64,
+    budget: u64,
+) -> Convergence {
+    let n = topology.len();
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let sims: Vec<bool> = (0..n).map(|v| v == 0).collect();
+        let mut runner = OneWayRunner::builder(
+            OneWayModel::I3,
+            Skno::graphical(Epidemic, o, topology.clone()),
+        )
+        .config(Skno::<Epidemic>::initial(&sims))
+        .topology(topology.clone())
+        .adversary(BoundedStrategy::new(rate, o as u64))
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("graphical SKnO assembles on its own topology");
+        let out = runner.run_batched_until(budget, BATCH, |c| project(c).count_state(&true) == n);
         (out, n as u64)
     });
     aggregate(n, results.into_iter().map(|s| s.value))

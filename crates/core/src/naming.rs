@@ -23,8 +23,10 @@
 //! is plainly `start_sim(my_id)` (the agent's own — now provably unique —
 //! name), which is what we implement.
 
+use std::sync::Arc;
+
 use ppfts_engine::OneWayProgram;
-use ppfts_population::{Configuration, State, TwoWayProtocol};
+use ppfts_population::{Configuration, State, Topology, TwoWayProtocol};
 
 use crate::{Commit, Sid, SidState, SimulatorState};
 
@@ -107,6 +109,7 @@ pub struct NamedSid<P> {
     sid: Sid<P>,
     n: usize,
     gossip: GossipPolicy,
+    topology: Option<Arc<Topology>>,
 }
 
 /// Whether agents that already simulate keep revealing `max_id = n` to
@@ -136,6 +139,7 @@ impl<P: TwoWayProtocol> NamedSid<P> {
             sid: Sid::new(protocol),
             n,
             gossip: GossipPolicy::Enabled,
+            topology: None,
         }
     }
 
@@ -151,7 +155,45 @@ impl<P: TwoWayProtocol> NamedSid<P> {
             sid: Sid::new(protocol),
             n,
             gossip,
+            topology: None,
         }
+    }
+
+    /// Creates the **graphical** naming-composed simulator over
+    /// `topology` (the known `n` is the graph's vertex count).
+    ///
+    /// The acquired names are a permutation of `1..=n` and are *not*
+    /// graph vertices, so — unlike [`Sid::graphical`] — the inner `SID`
+    /// cannot check adjacency by ID. It does not need to: every `SID`
+    /// handshake pairs exactly the two agents of a physical meeting, and
+    /// the builder's topology negotiation pins physical meetings to the
+    /// graph's arcs, so every simulated interaction is automatically an
+    /// edge of `topology`.
+    ///
+    /// **Caveat — naming needs collisions to happen.** The `Nn` rule
+    /// only separates two same-named agents when they *meet*; Lemma 3's
+    /// termination argument therefore assumes every pair can interact.
+    /// On a restricted graph a locally collision-free naming (no two
+    /// *adjacent* agents sharing a name) with `max_id < n` is an
+    /// absorbing state, so naming stalls with positive probability on
+    /// sparse families — on a ring, almost surely. Graphical `NamedSid`
+    /// is faithful to the paper on the complete graph and is otherwise
+    /// offered for graphs dense enough that collisions keep occurring;
+    /// use [`Sid::graphical`] (a priori IDs) when names cannot be
+    /// acquired on the target graph.
+    pub fn graphical(protocol: P, topology: Topology) -> Self {
+        let n = topology.len();
+        NamedSid {
+            sid: Sid::new(protocol),
+            n,
+            gossip: GossipPolicy::Enabled,
+            topology: Some(Arc::new(topology)),
+        }
+    }
+
+    /// The interaction graph this simulator is bound to, if graphical.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_deref()
     }
 
     /// The gossip policy in force.
@@ -273,6 +315,12 @@ impl<P: TwoWayProtocol> OneWayProgram for NamedSid<P> {
                 NamedState::Naming { .. } => false,
             },
         }
+    }
+
+    /// Graphical simulators are bound to their interaction graph; the
+    /// builder refuses any scheduler that deals a different law.
+    fn required_topology(&self) -> Option<&Topology> {
+        self.topology.as_deref()
     }
 }
 

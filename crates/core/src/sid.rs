@@ -36,8 +36,10 @@
 //! simulated state at pairing time, validated at lock time by the line-6
 //! guard.
 
+use std::sync::Arc;
+
 use ppfts_engine::OneWayProgram;
-use ppfts_population::{Configuration, State, TwoWayProtocol};
+use ppfts_population::{Configuration, State, Topology, TwoWayProtocol};
 
 use crate::{Commit, Role, SimulatorState};
 
@@ -148,6 +150,7 @@ impl<Q: State> SidState<Q> {
 pub struct Sid<P> {
     protocol: P,
     rollback: RollbackPolicy,
+    topology: Option<Arc<Topology>>,
 }
 
 /// Whether the lines 14–16 rollback of Figure 3 is active (DESIGN.md
@@ -171,13 +174,55 @@ impl<P: TwoWayProtocol> Sid<P> {
         Sid {
             protocol,
             rollback: RollbackPolicy::Enabled,
+            topology: None,
         }
     }
 
     /// Creates the simulator with an explicit rollback policy;
     /// [`RollbackPolicy::Disabled`] exists for the D2 ablation only.
     pub fn with_rollback_policy(protocol: P, rollback: RollbackPolicy) -> Self {
-        Sid { protocol, rollback }
+        Sid {
+            protocol,
+            rollback,
+            topology: None,
+        }
+    }
+
+    /// Creates the **graphical** simulator: the handshake only pairs and
+    /// locks agents whose IDs are adjacent in `topology` (ID = graph
+    /// vertex, the layout [`Sid::initial`] produces).
+    ///
+    /// Under the scheduler the builder negotiates for this topology the
+    /// guard is defense in depth — every physical meeting is already a
+    /// graph arc, and `SID`'s simulated interactions pair exactly the
+    /// agents that physically met — but it also makes the restriction
+    /// *semantic*: an off-graph interaction injected past the scheduler
+    /// (e.g. via `apply_planned`) produces no pairing, no lock and no
+    /// commit, which the `ppfts-verify` simulation audit and the
+    /// deliberate-injection tests rely on.
+    ///
+    /// On [`Topology::complete`] the guard is vacuous and the simulator
+    /// is bit-identical (states and RNG stream) to [`Sid::new`];
+    /// `tests/topology_equivalence.rs` certifies it.
+    pub fn graphical(protocol: P, topology: Topology) -> Self {
+        Sid {
+            protocol,
+            rollback: RollbackPolicy::Enabled,
+            topology: Some(Arc::new(topology)),
+        }
+    }
+
+    /// The interaction graph this simulator is bound to, if graphical.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_deref()
+    }
+
+    /// Whether two protocol IDs may simulate an interaction: graph
+    /// adjacency of their vertices in graphical mode, always otherwise.
+    fn adjacent(&self, a: u64, b: u64) -> bool {
+        self.topology
+            .as_deref()
+            .is_none_or(|t| t.contains_arc(a as usize, b as usize))
     }
 
     /// The rollback policy in force.
@@ -209,8 +254,9 @@ impl<P: TwoWayProtocol> Sid<P> {
     ) -> SidState<P::State> {
         let mut r2 = r.clone();
         match r.phase {
-            // Lines 3–5: start pairing with an available starter.
-            SidPhase::Available if s.phase == SidPhase::Available => {
+            // Lines 3–5: start pairing with an available starter — a
+            // graph-adjacent one, in graphical mode.
+            SidPhase::Available if s.phase == SidPhase::Available && self.adjacent(s.id, r.id) => {
                 r2.phase = SidPhase::Pairing;
                 r2.other_id = Some(s.id);
                 r2.other_state = Some(s.sim.clone());
@@ -219,7 +265,8 @@ impl<P: TwoWayProtocol> Sid<P> {
             SidPhase::Available
                 if s.phase == SidPhase::Pairing
                     && s.other_id == Some(r.id)
-                    && s.other_state.as_ref() == Some(&r.sim) =>
+                    && s.other_state.as_ref() == Some(&r.sim)
+                    && self.adjacent(s.id, r.id) =>
             {
                 r2.phase = SidPhase::Locked;
                 r2.other_id = Some(s.id);
@@ -282,8 +329,9 @@ impl<P: TwoWayProtocol> Sid<P> {
         r: &mut SidState<P::State>,
     ) -> bool {
         match r.phase {
-            // Lines 3–5: start pairing with an available starter.
-            SidPhase::Available if s.phase == SidPhase::Available => {
+            // Lines 3–5: start pairing with an available starter — a
+            // graph-adjacent one, in graphical mode.
+            SidPhase::Available if s.phase == SidPhase::Available && self.adjacent(s.id, r.id) => {
                 r.phase = SidPhase::Pairing;
                 r.other_id = Some(s.id);
                 r.other_state = Some(s.sim.clone());
@@ -293,7 +341,8 @@ impl<P: TwoWayProtocol> Sid<P> {
             SidPhase::Available
                 if s.phase == SidPhase::Pairing
                     && s.other_id == Some(r.id)
-                    && s.other_state.as_ref() == Some(&r.sim) =>
+                    && s.other_state.as_ref() == Some(&r.sim)
+                    && self.adjacent(s.id, r.id) =>
             {
                 let sim = self.protocol.starter_out(&r.sim, &s.sim);
                 r.phase = SidPhase::Locked;
@@ -370,6 +419,12 @@ impl<P: TwoWayProtocol> OneWayProgram for Sid<P> {
     /// reactor.
     fn on_receive_in_place(&self, s: &Self::State, r: &mut Self::State) -> bool {
         self.observe_in_place(s, r)
+    }
+
+    /// Graphical simulators are bound to their interaction graph; the
+    /// builder refuses any scheduler that deals a different law.
+    fn required_topology(&self) -> Option<&Topology> {
+        self.topology.as_deref()
     }
 }
 

@@ -40,18 +40,27 @@
 //! reactor's pre-transition state in the change token.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use ppfts_engine::OneWayProgram;
-use ppfts_population::{Configuration, State, TwoWayProtocol};
+use ppfts_population::{Configuration, State, Topology, TwoWayProtocol};
 
 use crate::{Commit, Role, SimulatorState};
 
 /// A token circulating between `SKnO` agents.
+///
+/// The `origin` field is the graph vertex of the *announcing* agent in
+/// graphical mode (see [`Skno::graphical`]); classic anonymous `SKnO`
+/// mints every token with origin `0`, so announcements of the same
+/// simulated state merge into one run exactly as in the paper.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Token<Q> {
-    /// `⟨q, i⟩`: the `i`-th token (1-based) of the announcement of
-    /// simulated state `q`.
+    /// `⟨q, i⟩` (graphically `⟨u, q, i⟩`): the `i`-th token (1-based) of
+    /// the announcement of simulated state `q` by the agent at vertex
+    /// `u`.
     Run {
+        /// Vertex of the announcing agent (`0` in anonymous mode).
+        origin: u32,
         /// The announced simulated state.
         state: Q,
         /// Position within the run, `1..=o+1`.
@@ -59,7 +68,22 @@ pub enum Token<Q> {
     },
     /// `⟨(q_s, q_r), i⟩`: the `i`-th token of a state-change announcement:
     /// a reactor consumed starter state `q_s` while in state `q_r`.
+    ///
+    /// In graphical mode the change run is **addressed**: `target` is the
+    /// vertex whose announcement was consumed, and only that agent may
+    /// complete the run. (Anonymously, any pending agent in state `q_s`
+    /// may — the paper's conservation argument counts run equivalents
+    /// globally, which per-origin keying breaks: an unaddressed change
+    /// run could be absorbed by a *different* pending neighbor of the
+    /// consumer, starving the original announcer forever.)
     Change {
+        /// Vertex of the announcing (reacting) agent (`0` in anonymous
+        /// mode).
+        origin: u32,
+        /// Vertex of the agent whose announcement was consumed — the
+        /// simulated starter this run is addressed to (`0` in anonymous
+        /// mode).
+        target: u32,
         /// The starter state that was consumed.
         starter: Q,
         /// The reactor's simulated state *before* its transition.
@@ -78,11 +102,13 @@ impl<Q> Token<Q> {
     }
 }
 
-/// The run (announcement) a token belongs to.
+/// The run (announcement) a token belongs to. The leading `u32` is the
+/// announcement origin — constant `0` in anonymous mode, so keys compare
+/// exactly as before origins existed.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 enum RunKey<Q> {
-    Plain(Q),
-    Change(Q, Q),
+    Plain(u32, Q),
+    Change(u32, u32, Q, Q),
 }
 
 impl<Q> Token<Q> {
@@ -90,22 +116,32 @@ impl<Q> Token<Q> {
     /// without cloning simulated states.
     fn key_ref(&self) -> Option<(RunKeyRef<'_, Q>, u32)> {
         match self {
-            Token::Run { state, index } => Some((RunKeyRef::Plain(state), *index)),
+            Token::Run {
+                origin,
+                state,
+                index,
+            } => Some((RunKeyRef::Plain(*origin, state), *index)),
             Token::Change {
+                origin,
+                target,
                 starter,
                 reactor,
                 index,
-            } => Some((RunKeyRef::Change(starter, reactor), *index)),
+            } => Some((
+                RunKeyRef::Change(*origin, *target, starter, reactor),
+                *index,
+            )),
             Token::Joker => None,
         }
     }
 }
 
-/// Borrowed form of [`RunKey`], used during queue scans.
+/// Borrowed form of [`RunKey`], used during queue scans. The `Change`
+/// fields are (origin, target, starter state, reactor state).
 #[derive(Debug, PartialEq, Eq)]
 enum RunKeyRef<'a, Q> {
-    Plain(&'a Q),
-    Change(&'a Q, &'a Q),
+    Plain(u32, &'a Q),
+    Change(u32, u32, &'a Q, &'a Q),
 }
 
 // Manual impls: the references are always Copy, whatever `Q` is.
@@ -120,8 +156,8 @@ impl<Q> Copy for RunKeyRef<'_, Q> {}
 impl<Q: Clone> RunKeyRef<'_, Q> {
     fn to_owned(self) -> RunKey<Q> {
         match self {
-            RunKeyRef::Plain(q) => RunKey::Plain(q.clone()),
-            RunKeyRef::Change(s, r) => RunKey::Change(s.clone(), r.clone()),
+            RunKeyRef::Plain(o, q) => RunKey::Plain(o, q.clone()),
+            RunKeyRef::Change(o, t, s, r) => RunKey::Change(o, t, s.clone(), r.clone()),
         }
     }
 }
@@ -139,11 +175,14 @@ type KeyTally<'a, Q> = (RunKeyRef<'a, Q>, u128, u32);
 
 fn token_of<Q: Clone>(key: &RunKeyRef<'_, Q>, index: u32) -> Token<Q> {
     match key {
-        RunKeyRef::Plain(q) => Token::Run {
+        RunKeyRef::Plain(o, q) => Token::Run {
+            origin: *o,
             state: (*q).clone(),
             index,
         },
-        RunKeyRef::Change(s, r) => Token::Change {
+        RunKeyRef::Change(o, t, s, r) => Token::Change {
+            origin: *o,
+            target: *t,
             starter: (*s).clone(),
             reactor: (*r).clone(),
             index,
@@ -160,6 +199,7 @@ fn token_of<Q: Clone>(key: &RunKeyRef<'_, Q>, index: u32) -> Token<Q> {
 #[derive(Clone, Debug)]
 pub struct SknoState<Q> {
     sim: Q,
+    site: u32,
     pending: bool,
     sending: VecDeque<Token<Q>>,
     owed: Vec<Token<Q>>,
@@ -170,6 +210,7 @@ pub struct SknoState<Q> {
 impl<Q: PartialEq> PartialEq for SknoState<Q> {
     fn eq(&self, other: &Self) -> bool {
         self.sim == other.sim
+            && self.site == other.site
             && self.pending == other.pending
             && self.sending == other.sending
             && self.owed == other.owed
@@ -181,6 +222,7 @@ impl<Q: Eq> Eq for SknoState<Q> {}
 impl<Q: std::hash::Hash> std::hash::Hash for SknoState<Q> {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.sim.hash(state);
+        self.site.hash(state);
         self.pending.hash(state);
         self.sending.hash(state);
         self.owed.hash(state);
@@ -189,16 +231,33 @@ impl<Q: std::hash::Hash> std::hash::Hash for SknoState<Q> {
 
 impl<Q: State> SknoState<Q> {
     /// Creates the initial simulator state around simulated state `q`:
-    /// available, with empty queues.
+    /// available, with empty queues, at graph vertex 0 (the vertex only
+    /// matters under [`Skno::graphical`]; use
+    /// [`new_at`](SknoState::new_at) or [`Skno::initial`] to place
+    /// agents).
     pub fn new(q: Q) -> Self {
+        Self::new_at(0, q)
+    }
+
+    /// Creates the initial simulator state for the agent at graph vertex
+    /// `site`. [`Skno::initial`] places agent `i` at vertex `i`, the
+    /// layout every graphical runner assumes.
+    pub fn new_at(site: u32, q: Q) -> Self {
         SknoState {
             sim: q,
+            site,
             pending: false,
             sending: VecDeque::new(),
             owed: Vec::new(),
             commit: None,
             commits: 0,
         }
+    }
+
+    /// The graph vertex this agent sits at (agent index, as laid out by
+    /// [`Skno::initial`]).
+    pub fn site(&self) -> u32 {
+        self.site
     }
 
     /// Whether the agent has an announcement in flight (`pending`).
@@ -256,6 +315,7 @@ pub struct Skno<P> {
     protocol: P,
     bound: u32,
     bookkeeping: JokerBookkeeping,
+    topology: Option<Arc<Topology>>,
 }
 
 /// How `SKnO` accounts for joker substitutions (DESIGN.md ablation D1).
@@ -281,6 +341,7 @@ impl<P: TwoWayProtocol> Skno<P> {
             protocol,
             bound: omission_bound,
             bookkeeping: JokerBookkeeping::Rummy,
+            topology: None,
         }
     }
 
@@ -295,7 +356,107 @@ impl<P: TwoWayProtocol> Skno<P> {
             protocol,
             bound: omission_bound,
             bookkeeping,
+            topology: None,
         }
+    }
+
+    /// Creates the **graphical** simulator: both the physical meetings
+    /// *and* the simulated interactions are restricted to the edges of
+    /// `topology`.
+    ///
+    /// Announcement tokens carry their origin vertex, and run completion
+    /// — the preliminary check, the census scan of run formation, and the
+    /// state-change return path — only considers runs announced by
+    /// **graph neighbors** of the completing agent. Tokens still relay
+    /// through the whole graph (the queues are the transport layer), but
+    /// every committed simulated transition pairs graph-adjacent agents;
+    /// `ppfts_verify::audit_simulation_topology` certifies this from
+    /// recorded traces via the commits' `partner_id`, which graphical
+    /// `SKnO` fills with the consumed run's origin vertex.
+    ///
+    /// On [`Topology::complete`] the adjacency constraint is vacuous, so
+    /// the simulator runs the classic *anonymous* `SKnO` — origins stay
+    /// `0` and announcements of equal states merge — making the
+    /// complete-graph instance bit-identical (states and RNG stream) to
+    /// [`Skno::new`]; `tests/topology_equivalence.rs` certifies it. On a
+    /// restricted graph, runs are keyed per origin, since "some neighbor
+    /// announced q" is only meaningful relative to the announcer.
+    ///
+    /// The runner builder negotiates the graph at `build()`: a graphical
+    /// simulator only assembles with a scheduler dealing exactly this
+    /// topology (`EngineError::ProgramTopologyMismatch` otherwise), and
+    /// agent `i` of the configuration must sit at vertex `i` (the layout
+    /// [`Skno::initial`] produces).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ppfts_core::{project, Skno};
+    /// use ppfts_engine::{OneWayModel, OneWayRunner};
+    /// use ppfts_population::Topology;
+    /// use ppfts_protocols::Epidemic;
+    ///
+    /// let ring = Topology::ring(8)?;
+    /// let skno = Skno::graphical(Epidemic, 1, ring.clone());
+    /// let sims: Vec<bool> = (0..8).map(|v| v == 0).collect();
+    /// let mut runner = OneWayRunner::builder(OneWayModel::I3, skno)
+    ///     .config(Skno::<Epidemic>::initial(&sims))
+    ///     .topology(ring)
+    ///     .seed(3)
+    ///     .build()?;
+    /// let out = runner.run_until(400_000, |c| {
+    ///     project(c).as_slice().iter().all(|b| *b)
+    /// });
+    /// assert!(out.is_satisfied()); // the epidemic crosses the ring
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn graphical(protocol: P, omission_bound: u32, topology: Topology) -> Self {
+        Skno {
+            protocol,
+            bound: omission_bound,
+            bookkeeping: JokerBookkeeping::Rummy,
+            topology: Some(Arc::new(topology)),
+        }
+    }
+
+    /// The interaction graph this simulator is bound to, if graphical.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_deref()
+    }
+
+    /// Whether adjacency filtering is in force: graphical, and the graph
+    /// actually restricts something (the complete graph does not, and
+    /// skipping the filter there is what keeps the complete instance
+    /// bit-identical to anonymous `SKnO`).
+    fn filtering(&self) -> bool {
+        self.topology.as_deref().is_some_and(|t| !t.is_complete())
+    }
+
+    /// The origin to mint on tokens announced by the agent at `site`.
+    fn mint_origin(&self, s: &SknoState<P::State>) -> u32 {
+        if self.filtering() {
+            s.site
+        } else {
+            0
+        }
+    }
+
+    /// Whether the agent at `site` may complete a run announced from
+    /// `origin` — graph adjacency in graphical mode, always in anonymous
+    /// mode.
+    fn neighbor_ok(&self, origin: u32, site: u32) -> bool {
+        match self.topology.as_deref() {
+            Some(t) if !t.is_complete() => t.contains_arc(origin as usize, site as usize),
+            _ => true,
+        }
+    }
+
+    /// Whether the agent at `site` is the addressee of a change run with
+    /// the given `target` — exact match in graphical mode (the change
+    /// run frees exactly the agent whose announcement was consumed),
+    /// anyone in anonymous mode (the paper's state-matched consumption).
+    fn change_addressed(&self, target: u32, site: u32) -> bool {
+        !self.filtering() || target == site
     }
 
     /// The joker-bookkeeping policy in force.
@@ -318,9 +479,15 @@ impl<P: TwoWayProtocol> Skno<P> {
         self.bound + 1
     }
 
-    /// The initial configuration wrapping the given simulated states.
+    /// The initial configuration wrapping the given simulated states,
+    /// with agent `i` placed at graph vertex `i` (the layout graphical
+    /// runners assume; irrelevant to anonymous runs).
     pub fn initial(sim_states: &[P::State]) -> Configuration<SknoState<P::State>> {
-        sim_states.iter().cloned().map(SknoState::new).collect()
+        sim_states
+            .iter()
+            .enumerate()
+            .map(|(i, q)| SknoState::new_at(i as u32, q.clone()))
+            .collect()
     }
 
     /// The token the starter in state `s` would transmit in its next
@@ -329,6 +496,7 @@ impl<P: TwoWayProtocol> Skno<P> {
         if !s.pending && s.sending.is_empty() {
             // The fill enqueues ⟨sim, 1⟩ … ⟨sim, o+1⟩; the head is sent.
             Some(Token::Run {
+                origin: self.mint_origin(s),
                 state: s.sim.clone(),
                 index: 1,
             })
@@ -342,8 +510,10 @@ impl<P: TwoWayProtocol> Skno<P> {
     fn fill(&self, s: &mut SknoState<P::State>) {
         if !s.pending && s.sending.is_empty() {
             s.pending = true;
+            let origin = self.mint_origin(s);
             for i in 1..=self.run_len() {
                 s.sending.push_back(Token::Run {
+                    origin,
                     state: s.sim.clone(),
                     index: i,
                 });
@@ -553,27 +723,38 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// queue tokens, so `true` implies the state changed.
     fn checks(&self, r: &mut SknoState<P::State>) -> bool {
         let mut acted = false;
+        let filtering = self.filtering();
         // Preliminary: a pending agent that re-assembles the announcement
-        // of its *own* state cancels the transaction.
+        // of its *own* state cancels the transaction. In graphical mode
+        // "its own" includes the origin: only the run this agent minted.
         if r.pending {
-            if let Some((positions, owed_new)) =
-                self.find_run(&r.sending, &RunKeyRef::Plain(&r.sim))
-            {
+            let own_key = RunKeyRef::Plain(self.mint_origin(r), &r.sim);
+            if let Some((positions, owed_new)) = self.find_run(&r.sending, &own_key) {
                 self.consume(r, positions, owed_new);
                 r.pending = false;
                 acted = true;
             }
         }
         if !r.pending {
-            // Core, available branch: consume any plain run and play the
+            // Core, available branch: consume a plain run — announced by
+            // a graph neighbor, in graphical mode — and play the
             // simulated reactor.
-            let plan = self.plan_best(&r.sending, |k| matches!(k, RunKeyRef::Plain(_)));
-            if let Some((RunKey::Plain(q), (positions, owed_new))) = plan {
+            let site = r.site;
+            let plan = self.plan_best(
+                &r.sending,
+                |k| matches!(k, RunKeyRef::Plain(o, _) if self.neighbor_ok(*o, site)),
+            );
+            if let Some((RunKey::Plain(origin, q), (positions, owed_new))) = plan {
                 self.consume(r, positions, owed_new);
                 let old = r.sim.clone();
                 r.sim = self.protocol.reactor_out(&q, &old);
+                let change_origin = self.mint_origin(r);
                 for i in 1..=self.run_len() {
                     r.sending.push_back(Token::Change {
+                        origin: change_origin,
+                        // Address the change run to the consumed
+                        // announcement's origin (0 = anyone, anonymously).
+                        target: origin,
                         starter: q.clone(),
                         reactor: old.clone(),
                         index: i,
@@ -582,7 +763,10 @@ impl<P: TwoWayProtocol> Skno<P> {
                 r.commit = Some(Commit {
                     role: Role::Reactor,
                     partner: q,
-                    partner_id: None,
+                    // Graphical runs are keyed per announcer, so the
+                    // simulated partner is no longer anonymous: expose
+                    // its vertex for the on-graph simulation audit.
+                    partner_id: filtering.then_some(origin as u64),
                     seq: r.commits,
                 });
                 r.commits += 1;
@@ -590,15 +774,17 @@ impl<P: TwoWayProtocol> Skno<P> {
             }
         } else {
             // Core, pending branch: consume a state-change run announced
-            // for our own state and play the simulated starter.
+            // for our own state — and, in graphical mode, addressed to
+            // this very agent — and play the simulated starter.
             let plan = {
                 let own = &r.sim;
+                let site = r.site;
                 self.plan_best(
                     &r.sending,
-                    |k| matches!(k, RunKeyRef::Change(s, _) if *s == own),
+                    |k| matches!(k, RunKeyRef::Change(_, t, s, _) if *s == own && self.change_addressed(*t, site)),
                 )
             };
-            if let Some((RunKey::Change(_, q_r), (positions, owed_new))) = plan {
+            if let Some((RunKey::Change(origin, _, _, q_r), (positions, owed_new))) = plan {
                 self.consume(r, positions, owed_new);
                 let old = r.sim.clone();
                 r.sim = self.protocol.starter_out(&old, &q_r);
@@ -606,7 +792,7 @@ impl<P: TwoWayProtocol> Skno<P> {
                 r.commit = Some(Commit {
                     role: Role::Starter,
                     partner: q_r,
-                    partner_id: None,
+                    partner_id: filtering.then_some(origin as u64),
                     seq: r.commits,
                 });
                 r.commits += 1;
@@ -626,15 +812,18 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
         if !s.pending && s.sending.is_empty() {
             // Fill-then-pop, built directly: the head ⟨sim, 1⟩ is the one
             // transmitted, so the new queue is ⟨sim, 2⟩ … ⟨sim, o+1⟩.
+            let origin = self.mint_origin(s);
             let mut sending = VecDeque::with_capacity(self.bound as usize);
             for i in 2..=self.run_len() {
                 sending.push_back(Token::Run {
+                    origin,
                     state: s.sim.clone(),
                     index: i,
                 });
             }
             return SknoState {
                 sim: s.sim.clone(),
+                site: s.site,
                 pending: true,
                 sending,
                 owed: s.owed.clone(),
@@ -692,8 +881,10 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
             // Fill-then-pop: the head ⟨sim, 1⟩ is transmitted, leaving
             // ⟨sim, 2⟩ … ⟨sim, o+1⟩ queued.
             s.pending = true;
+            let origin = self.mint_origin(s);
             for i in 2..=self.run_len() {
                 let token = Token::Run {
+                    origin,
                     state: s.sim.clone(),
                     index: i,
                 };
@@ -729,6 +920,12 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
         r.sending.push_back(Token::Joker);
         self.checks(r);
         true
+    }
+
+    /// Graphical simulators are bound to their interaction graph; the
+    /// builder refuses any scheduler that deals a different law.
+    fn required_topology(&self) -> Option<&Topology> {
+        self.topology.as_deref()
     }
 }
 

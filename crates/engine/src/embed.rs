@@ -111,6 +111,11 @@ where
     fn reactor_omission(&self, r: &Self::State) -> Self::State {
         self.inner.on_omission_reactor(r)
     }
+
+    /// Graphical one-way programs stay graph-bound under the embedding.
+    fn required_topology(&self) -> Option<&ppfts_population::Topology> {
+        self.inner.required_topology()
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,18 @@ pub enum EngineError {
         /// Agents in the supplied population.
         population: usize,
     },
+    /// A topology-bound *program* (a graphical simulator) was assembled
+    /// with a scheduler that does not deal exactly its interaction graph.
+    /// Graphical simulators restrict run formation to graph-adjacent
+    /// agents, so scheduling any other law would silently change the
+    /// simulated semantics; the mismatch is rejected when the runner is
+    /// built.
+    ProgramTopologyMismatch {
+        /// Display form of the topology the program is bound to.
+        program_topology: String,
+        /// The law the offending scheduler deals from.
+        law: InteractionLaw,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -111,6 +123,17 @@ impl fmt::Display for EngineError {
                     f,
                     "scheduler topology spans {topology} agents but the population has \
                      {population}; build the topology for the population you run"
+                )
+            }
+            EngineError::ProgramTopologyMismatch {
+                program_topology,
+                law,
+            } => {
+                write!(
+                    f,
+                    "the program is bound to the interaction graph {program_topology} but \
+                     the scheduler deals the {law} law; schedule the same topology the \
+                     graphical program was built on"
                 )
             }
         }

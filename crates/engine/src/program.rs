@@ -1,6 +1,6 @@
 //! Agent programs: what each party computes in an interaction.
 
-use ppfts_population::{State, TwoWayProtocol};
+use ppfts_population::{State, Topology, TwoWayProtocol};
 
 use crate::OneWayModel;
 
@@ -59,6 +59,13 @@ pub trait TwoWayProgram {
     /// side. Defaults to the identity (undetectable). Called only under T3.
     fn reactor_omission(&self, r: &Self::State) -> Self::State {
         r.clone()
+    }
+
+    /// The interaction graph this program's semantics are bound to, if
+    /// any — see [`OneWayProgram::required_topology`] for the contract.
+    /// Defaults to `None` (topology-agnostic).
+    fn required_topology(&self) -> Option<&Topology> {
+        None
     }
 }
 
@@ -182,6 +189,24 @@ pub trait OneWayProgram {
             *r = next;
         }
         changed
+    }
+
+    /// The interaction graph this program's semantics are bound to, if
+    /// any. Defaults to `None` (topology-agnostic, the classic case).
+    ///
+    /// Graphical programs — e.g. the simulators of `ppfts-core` built
+    /// with their `graphical` constructors — return the topology their
+    /// per-agent state was laid out for (agent index = graph vertex).
+    /// Runner builders then refuse to assemble such a program with a
+    /// scheduler that deals any other interaction law: the population
+    /// must span exactly the graph's vertices
+    /// ([`TopologySizeMismatch`](crate::EngineError::TopologySizeMismatch))
+    /// and the scheduler must deal exactly this graph's arcs (or the
+    /// uniform law, when the required topology is complete) —
+    /// anything else fails at `build()` with
+    /// [`ProgramTopologyMismatch`](crate::EngineError::ProgramTopologyMismatch).
+    fn required_topology(&self) -> Option<&Topology> {
+        None
     }
 }
 

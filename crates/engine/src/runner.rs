@@ -794,6 +794,33 @@ macro_rules! runner_impl {
                         });
                     }
                 }
+                if let Some(required) = self.program.required_topology() {
+                    // A graphical program lays its per-agent state out
+                    // over the graph's vertices: the population must span
+                    // them exactly…
+                    if required.len() != config.len() {
+                        return Err(EngineError::TopologySizeMismatch {
+                            topology: required.len(),
+                            population: config.len(),
+                        });
+                    }
+                    // …and the scheduler must deal exactly that graph's
+                    // arcs. A complete required topology imposes no
+                    // adjacency constraint, so any uniform-law scheduler
+                    // realizes it; a restricted one needs a scheduler
+                    // bound to a structurally equal topology.
+                    let satisfied = if required.is_complete() {
+                        self.scheduler.law() == crate::InteractionLaw::Uniform
+                    } else {
+                        self.scheduler.dealt_topology() == Some(required)
+                    };
+                    if !satisfied {
+                        return Err(EngineError::ProgramTopologyMismatch {
+                            program_topology: required.to_string(),
+                            law: self.scheduler.law(),
+                        });
+                    }
+                }
                 if !C::PER_AGENT {
                     if !self.sink.is_passive() {
                         return Err(EngineError::PerAgentBackendRequired {

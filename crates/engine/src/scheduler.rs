@@ -106,6 +106,20 @@ pub trait Scheduler {
     fn required_population(&self) -> Option<usize> {
         None
     }
+
+    /// The explicit interaction graph this scheduler deals the arcs of,
+    /// if it is graph-bound ([`TopologyScheduler`] returns its topology).
+    ///
+    /// This is the scheduler half of *program-side* topology negotiation:
+    /// a graphical simulator (one whose
+    /// [`required_topology`](crate::OneWayProgram::required_topology) is
+    /// `Some`) only builds against a scheduler dealing exactly that graph
+    /// — the builder compares this value structurally and rejects
+    /// mismatches with
+    /// [`EngineError::ProgramTopologyMismatch`](crate::EngineError::ProgramTopologyMismatch).
+    fn dealt_topology(&self) -> Option<&Topology> {
+        None
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
@@ -117,6 +131,9 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     }
     fn required_population(&self) -> Option<usize> {
         (**self).required_population()
+    }
+    fn dealt_topology(&self) -> Option<&Topology> {
+        (**self).dealt_topology()
     }
 }
 
@@ -236,6 +253,10 @@ impl Scheduler for TopologyScheduler {
 
     fn required_population(&self) -> Option<usize> {
         Some(self.topology.len())
+    }
+
+    fn dealt_topology(&self) -> Option<&Topology> {
+        Some(&self.topology)
     }
 }
 

@@ -79,4 +79,7 @@ pub use population::Population;
 pub use protocol::{DeltaRule, FunctionProtocol, SymmetryReport, TableProtocol, TwoWayProtocol};
 pub use semantics::{unanimous_output, unanimous_output_counts, ConsensusOutput, Semantics};
 pub use state::{EnumerableStates, State};
-pub use topology::{Topology, TopologyClass, TopologyError};
+pub use topology::{
+    SpectralProfile, Topology, TopologyClass, TopologyError, EXACT_CONDUCTANCE_LIMIT,
+    RANDOM_REGULAR_ATTEMPTS,
+};

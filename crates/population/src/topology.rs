@@ -55,8 +55,31 @@ use rand::{Rng, RngCore, SeedableRng};
 use crate::Interaction;
 
 /// Maximum re-draws of the stub pairing before
-/// [`Topology::random_regular`] gives up.
-const RANDOM_REGULAR_ATTEMPTS: usize = 400;
+/// [`Topology::random_regular`] gives up with
+/// [`TopologyError::PairingFailed`]. The loop is hard-bounded so that
+/// infeasible `(n, d)` parameterizations (a 1-regular graph on more than
+/// two vertices can never be connected) terminate with a typed error.
+pub const RANDOM_REGULAR_ATTEMPTS: usize = 400;
+
+/// Largest vertex count for which [`Topology::conductance`] enumerates
+/// every cut exactly; larger graphs get the spectral sweep-cut estimate.
+pub const EXACT_CONDUCTANCE_LIMIT: usize = 16;
+
+/// Power-iteration budget of the sweep-cut conductance estimate.
+const SWEEP_POWER_ITERS: usize = 600;
+
+/// Mixing-rate figures of a topology's lazy random walk, produced by
+/// [`Topology::spectral_profile`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpectralProfile {
+    /// Estimated second-largest eigenvalue of `½(I + D⁻¹A)`.
+    pub lambda2: f64,
+    /// `1 − λ₂`: the spectral gap governing the walk's mixing time.
+    pub spectral_gap: f64,
+    /// Power iterations actually performed before convergence (or the
+    /// budget, whichever came first).
+    pub iterations: usize,
+}
 
 /// Errors raised while constructing an interaction topology.
 #[derive(Clone, Debug, PartialEq)]
@@ -109,11 +132,15 @@ pub enum TopologyError {
         /// The rejected value.
         p: f64,
     },
-    /// Randomized generation exhausted its retry budget without producing
-    /// a simple connected graph (try another seed, or a denser
-    /// parameterization).
-    GenerationFailed {
-        /// Attempts made.
+    /// The configuration-model stub pairing of
+    /// [`Topology::random_regular`] exhausted its bounded retry budget
+    /// without producing a simple *connected* draw. Raised for
+    /// parameterizations where such draws are rare (very dense `d`) or
+    /// impossible (`d = 1` on `n > 2` vertices is a perfect matching,
+    /// never connected) — the retry loop is hard-bounded, so infeasible
+    /// inputs terminate with this error instead of spinning.
+    PairingFailed {
+        /// Attempts made before giving up.
         attempts: usize,
     },
 }
@@ -148,10 +175,11 @@ impl fmt::Display for TopologyError {
             TopologyError::InvalidProbability { p } => {
                 write!(f, "edge probability {p} outside (0, 1]")
             }
-            TopologyError::GenerationFailed { attempts } => {
+            TopologyError::PairingFailed { attempts } => {
                 write!(
                     f,
-                    "random graph generation failed after {attempts} attempts"
+                    "stub pairing produced no simple connected draw in {attempts} attempts \
+                     (the requested (n, d) may admit none)"
                 )
             }
         }
@@ -335,9 +363,13 @@ impl Topology {
     /// # Errors
     ///
     /// [`TopologyError::InvalidDegree`] unless `0 < d < n` and `n·d` is
-    /// even; [`TopologyError::GenerationFailed`] if the retry budget runs
-    /// out (denser or very small parameterizations can make simple
-    /// connected draws rare).
+    /// even; [`TopologyError::PairingFailed`] when the hard-bounded retry
+    /// loop ([`RANDOM_REGULAR_ATTEMPTS`] draws) finds no simple connected
+    /// graph — which covers both unlucky dense parameterizations and
+    /// genuinely infeasible ones like `d = 1` on `n > 2` vertices (every
+    /// 1-regular graph is a perfect matching, hence disconnected), so the
+    /// constructor always terminates with a typed error instead of
+    /// looping.
     pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Self, TopologyError> {
         if n < 2 {
             return Err(TopologyError::TooSmall { len: n, min: 2 });
@@ -374,7 +406,7 @@ impl Topology {
                 Err(e) => return Err(e),
             }
         }
-        Err(TopologyError::GenerationFailed {
+        Err(TopologyError::PairingFailed {
             attempts: RANDOM_REGULAR_ATTEMPTS,
         })
     }
@@ -661,6 +693,223 @@ impl Topology {
         }
     }
 
+    /// Iterates over the undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n = self.len();
+        (0..n).flat_map(move |v| {
+            self.neighbors(v)
+                .filter(move |&w| v < w)
+                .map(move |w| (v, w))
+        })
+    }
+
+    /// Conductance `Φ(G) = min_S cut(S, S̄) / min(vol S, vol S̄)` by
+    /// exhaustive cut enumeration — exact, but O(2ⁿ·(n + m)), so only
+    /// offered up to [`EXACT_CONDUCTANCE_LIMIT`] vertices. Returns `None`
+    /// above the limit; [`conductance`](Topology::conductance) falls back
+    /// to the spectral sweep-cut estimate there.
+    pub fn conductance_exact(&self) -> Option<f64> {
+        let n = self.len();
+        if n > EXACT_CONDUCTANCE_LIMIT {
+            return None;
+        }
+        let edges: Vec<(usize, usize)> = self.edges().collect();
+        let deg: Vec<usize> = (0..n).map(|v| self.degree(v)).collect();
+        let total_vol = self.arc_count();
+        let mut best = f64::INFINITY;
+        // Every unordered bipartition exactly once: vertex 0 is pinned to
+        // the complement, the mask enumerates subsets of 1..n.
+        for bits in 1u32..(1u32 << (n - 1)) {
+            let mask = bits << 1;
+            let mut vol = 0usize;
+            for (v, d) in deg.iter().enumerate().skip(1) {
+                if mask >> v & 1 == 1 {
+                    vol += d;
+                }
+            }
+            let mut cut = 0usize;
+            for &(a, b) in &edges {
+                if (mask >> a ^ mask >> b) & 1 == 1 {
+                    cut += 1;
+                }
+            }
+            // Connected graph: every vertex has degree ≥ 1, so both sides
+            // of a nontrivial bipartition have positive volume.
+            let phi = cut as f64 / vol.min(total_vol - vol) as f64;
+            best = best.min(phi);
+        }
+        Some(best)
+    }
+
+    /// Spectral profile of the **lazy random walk** `M = ½(I + D⁻¹A)`:
+    /// its second-largest eigenvalue `λ₂` and the spectral gap `1 − λ₂`,
+    /// estimated by power iteration on the symmetrized form
+    /// `½(I + D^{-½} A D^{-½})` with the known top eigenvector
+    /// (`φ₁ ∝ √deg`, eigenvalue 1) deflated each step. Deterministic:
+    /// the start vector is a fixed hash of the vertex indices.
+    ///
+    /// The gap is the mixing-rate figure that Cheeger's inequality ties
+    /// to conductance — `gap/2 ≤ Φ ≤ √(2·gap)` — and the quantity the
+    /// E13 experiment charts omission tolerance against.
+    ///
+    /// `max_iters` bounds the work; iteration stops early once the
+    /// eigenvalue estimate moves less than 1e-12 between steps. A few
+    /// hundred iterations suffice for well-separated spectra; low-gap
+    /// graphs (large rings) may report a slight overestimate of the gap
+    /// if stopped early, which only makes the Cheeger bracket looser.
+    pub fn spectral_profile(&self, max_iters: usize) -> SpectralProfile {
+        self.spectral_inner(max_iters).0
+    }
+
+    /// Power iteration with deflation; returns the profile and the final
+    /// iterate (an estimate of the second eigenvector of the symmetrized
+    /// lazy walk), which the sweep cut orders vertices by.
+    fn spectral_inner(&self, max_iters: usize) -> (SpectralProfile, Vec<f64>) {
+        let n = self.len();
+        let sqrt_deg: Vec<f64> = (0..n).map(|v| (self.degree(v) as f64).sqrt()).collect();
+        let vol = self.arc_count() as f64; // ‖√deg‖² = Σ deg
+                                           // Deterministic quasi-random start vector (splitmix-style hash).
+        let mut v: Vec<f64> = (0..n as u64)
+            .map(|i| {
+                let mut h = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        let deflate = |v: &mut [f64]| {
+            let coeff: f64 = v.iter().zip(&sqrt_deg).map(|(a, b)| a * b).sum::<f64>() / vol;
+            for (x, s) in v.iter_mut().zip(&sqrt_deg) {
+                *x -= coeff * s;
+            }
+        };
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let mut w = vec![0.0; n];
+        let mut lambda = 0.0f64;
+        let mut iterations = 0usize;
+        for it in 0..max_iters {
+            deflate(&mut v);
+            let len = norm(&v);
+            if len < 1e-300 {
+                // Start vector was (numerically) parallel to φ₁: reseed
+                // with an alternating pattern and deflate again.
+                for (i, x) in v.iter_mut().enumerate() {
+                    *x = if i % 2 == 0 { 1.0 } else { -1.0 };
+                }
+                deflate(&mut v);
+            } else {
+                for x in &mut v {
+                    *x /= len;
+                }
+            }
+            self.lazy_step(&v, &mut w, &sqrt_deg);
+            let rayleigh: f64 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+            iterations = it + 1;
+            let delta = (rayleigh - lambda).abs();
+            lambda = rayleigh;
+            std::mem::swap(&mut v, &mut w);
+            if it > 0 && delta < 1e-12 {
+                break;
+            }
+        }
+        let lambda2 = lambda.clamp(0.0, 1.0);
+        (
+            SpectralProfile {
+                lambda2,
+                spectral_gap: 1.0 - lambda2,
+                iterations,
+            },
+            v,
+        )
+    }
+
+    /// One multiply by `½(I + D^{-½} A D^{-½})`, writing into `w`.
+    fn lazy_step(&self, v: &[f64], w: &mut [f64], sqrt_deg: &[f64]) {
+        match &self.repr {
+            Repr::Complete { n } => {
+                // All degrees are n−1: (Av)_i = Σ_{j≠i} v_j = S − v_i.
+                let s: f64 = v.iter().sum();
+                let d = (*n - 1) as f64;
+                for (i, out) in w.iter_mut().enumerate() {
+                    *out = 0.5 * (v[i] + (s - v[i]) / d);
+                }
+            }
+            Repr::Csr { heads, tails, .. } => {
+                for (i, out) in w.iter_mut().enumerate() {
+                    *out = 0.5 * v[i];
+                }
+                for (a, &head) in heads.iter().enumerate() {
+                    let (t, h) = (tails[a] as usize, head as usize);
+                    w[t] += 0.5 * v[h] / (sqrt_deg[t] * sqrt_deg[h]);
+                }
+            }
+        }
+    }
+
+    /// Conductance `Φ(G)`: **exact** (exhaustive cuts) up to
+    /// [`EXACT_CONDUCTANCE_LIMIT`] vertices, the closed form for the
+    /// implicit complete graph, and otherwise a **sweep-cut estimate**
+    /// from the power-iteration eigenvector — an upper bound on the true
+    /// conductance that Cheeger's inequality guarantees is within
+    /// `√(2·gap)` of it. On graphs whose sparsest cut is an eigenvector
+    /// level set (rings, grids) the sweep recovers the exact value.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ppfts_population::Topology;
+    ///
+    /// let ring = Topology::ring(12)?;
+    /// // Halving the ring cuts 2 of its 24 half-edges per side: Φ = 2/12.
+    /// assert!((ring.conductance() - 2.0 / 12.0).abs() < 1e-9);
+    /// let profile = ring.spectral_profile(400);
+    /// // Cheeger: gap/2 ≤ Φ ≤ √(2·gap).
+    /// assert!(profile.spectral_gap / 2.0 <= ring.conductance() + 1e-9);
+    /// # Ok::<(), ppfts_population::TopologyError>(())
+    /// ```
+    pub fn conductance(&self) -> f64 {
+        if let Some(exact) = self.conductance_exact() {
+            return exact;
+        }
+        if let Repr::Complete { n } = &self.repr {
+            // Φ(K_n, |S| = k ≤ n/2) = k(n−k)/(k(n−1)) = (n−k)/(n−1),
+            // minimized at the balanced cut.
+            return (*n - *n / 2) as f64 / (*n - 1) as f64;
+        }
+        self.sweep_conductance()
+    }
+
+    /// Sweep cut over the spectral embedding `x_v = φ₂(v)/√deg(v)`:
+    /// orders vertices by `x`, evaluates every prefix cut incrementally,
+    /// and returns the best conductance found.
+    fn sweep_conductance(&self) -> f64 {
+        let n = self.len();
+        let (_, eigvec) = self.spectral_inner(SWEEP_POWER_ITERS);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let xa = eigvec[a] / (self.degree(a) as f64).sqrt();
+            let xb = eigvec[b] / (self.degree(b) as f64).sqrt();
+            xa.partial_cmp(&xb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let total_vol = self.arc_count();
+        let mut in_s = vec![false; n];
+        let mut cut = 0isize;
+        let mut vol = 0usize;
+        let mut best = f64::INFINITY;
+        for &u in order.iter().take(n - 1) {
+            let d = self.degree(u);
+            let into_s = self.neighbors(u).filter(|&w| in_s[w]).count();
+            cut += d as isize - 2 * into_s as isize;
+            vol += d;
+            in_s[u] = true;
+            let denom = vol.min(total_vol - vol);
+            if denom > 0 {
+                best = best.min(cut as f64 / denom as f64);
+            }
+        }
+        best
+    }
+
     /// Vertices reachable from vertex 0 (BFS over the CSR arrays; the
     /// complete graph is trivially connected).
     fn reachable_from_zero(&self) -> usize {
@@ -863,6 +1112,24 @@ mod tests {
     }
 
     #[test]
+    fn random_regular_pairing_failure_is_bounded_and_typed() {
+        // 1-regular graphs on n > 2 vertices are perfect matchings —
+        // never connected — so every attempt is rejected and the bounded
+        // loop must terminate with the typed error, for any seed.
+        for seed in 0..8 {
+            assert_eq!(
+                Topology::random_regular(4, 1, seed),
+                Err(TopologyError::PairingFailed {
+                    attempts: RANDOM_REGULAR_ATTEMPTS
+                }),
+                "seed {seed}"
+            );
+        }
+        // The single feasible 1-regular case (n = 2) still constructs.
+        assert!(Topology::random_regular(2, 1, 0).is_ok());
+    }
+
+    #[test]
     fn random_regular_is_deterministic_per_seed() {
         let a = Topology::random_regular(16, 4, 9).unwrap();
         let b = Topology::random_regular(16, 4, 9).unwrap();
@@ -980,6 +1247,105 @@ mod tests {
     }
 
     #[test]
+    fn edges_enumerate_each_undirected_edge_once() {
+        for t in [
+            Topology::complete(5).unwrap(),
+            Topology::ring(6).unwrap(),
+            Topology::grid2d(3, 3).unwrap(),
+        ] {
+            let edges: Vec<(usize, usize)> = t.edges().collect();
+            assert_eq!(edges.len(), t.edge_count(), "{t}");
+            for (a, b) in edges {
+                assert!(a < b, "{t}: unnormalized edge ({a}, {b})");
+                assert!(t.contains_arc(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_conductance_matches_known_values() {
+        // Ring: the balanced cut severs 2 edges, each side has volume n.
+        let ring = Topology::ring(12).unwrap();
+        assert!((ring.conductance_exact().unwrap() - 2.0 / 12.0).abs() < 1e-12);
+        // Star: every cut not containing the hub is all-boundary, Φ = 1.
+        let star = Topology::star(8).unwrap();
+        assert!((star.conductance_exact().unwrap() - 1.0).abs() < 1e-12);
+        // Complete: Φ = ⌈n/2⌉/(n−1) at the balanced cut.
+        let complete = Topology::complete(8).unwrap();
+        assert!((complete.conductance_exact().unwrap() - 4.0 / 7.0).abs() < 1e-12);
+        // Above the limit, exact is refused…
+        assert!(Topology::ring(17).unwrap().conductance_exact().is_none());
+        // …but the closed form for big complete graphs still applies.
+        assert!((Topology::complete(1000).unwrap().conductance() - 500.0 / 999.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_conductance_recovers_the_ring_cut() {
+        // n = 64 is beyond the exact limit: conductance() runs the
+        // spectral sweep, whose level sets on a ring are contiguous arcs
+        // — so it finds the true 2/n cut.
+        let ring = Topology::ring(64).unwrap();
+        let phi = ring.conductance();
+        assert!(
+            (phi - 2.0 / 64.0).abs() < 5e-3,
+            "sweep found {phi}, expected ~{}",
+            2.0 / 64.0
+        );
+    }
+
+    #[test]
+    fn conductance_orders_families_by_expansion() {
+        let n = 64;
+        let ring = Topology::ring(n).unwrap().conductance();
+        let grid = Topology::grid2d(8, 8).unwrap().conductance();
+        let rr4 = Topology::random_regular(n, 4, 5).unwrap().conductance();
+        let complete = Topology::complete(n).unwrap().conductance();
+        assert!(
+            ring < grid && grid < rr4 && rr4 < complete,
+            "ring {ring} < grid {grid} < rr4 {rr4} < complete {complete}"
+        );
+    }
+
+    #[test]
+    fn spectral_gap_matches_analytic_values() {
+        // Lazy walk on K_n: λ₂ = ½(1 − 1/(n−1)) → gap ≈ ½.
+        let complete = Topology::complete(32).unwrap().spectral_profile(500);
+        assert!(
+            (complete.spectral_gap - 0.5 * (1.0 + 1.0 / 31.0)).abs() < 1e-6,
+            "complete gap {}",
+            complete.spectral_gap
+        );
+        // Lazy walk on C_n: λ₂ = ½(1 + cos(2π/n)).
+        let ring = Topology::ring(32).unwrap().spectral_profile(20_000);
+        let expect = 0.5 * (1.0 - (2.0 * std::f64::consts::PI / 32.0).cos());
+        assert!(
+            (ring.spectral_gap - expect).abs() < 1e-4,
+            "ring gap {} vs analytic {expect}",
+            ring.spectral_gap
+        );
+        assert!(ring.lambda2 > 0.0 && ring.lambda2 < 1.0);
+        assert!(ring.iterations > 0);
+    }
+
+    #[test]
+    fn cheeger_inequality_brackets_exact_conductance() {
+        for t in [
+            Topology::ring(12).unwrap(),
+            Topology::star(10).unwrap(),
+            Topology::grid2d(3, 4).unwrap(),
+            Topology::random_regular(14, 3, 2).unwrap(),
+            Topology::complete(10).unwrap(),
+        ] {
+            let phi = t.conductance_exact().unwrap();
+            let gap = t.spectral_profile(20_000).spectral_gap;
+            assert!(
+                gap / 2.0 <= phi + 1e-9 && phi <= (2.0 * gap).sqrt() + 1e-9,
+                "{t}: Cheeger violated — gap {gap}, Φ {phi}"
+            );
+        }
+    }
+
+    #[test]
     fn display_labels_families() {
         assert_eq!(Topology::complete(4).unwrap().to_string(), "complete(n=4)");
         assert_eq!(Topology::ring(5).unwrap().to_string(), "ring(n=5)");
@@ -1000,7 +1366,7 @@ mod tests {
             }
             .to_string(),
             TopologyError::InvalidDegree { len: 5, degree: 3 }.to_string(),
-            TopologyError::GenerationFailed { attempts: 7 }.to_string(),
+            TopologyError::PairingFailed { attempts: 7 }.to_string(),
         ];
         for m in msgs {
             assert!(m.chars().next().unwrap().is_lowercase());

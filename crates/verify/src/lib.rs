@@ -49,5 +49,6 @@ pub use pairing_audit::{
     audit_pairing, audit_pairing_batched, pairing_converged, AuditReport, PairingViolation,
 };
 pub use topology_audit::{
-    audit_scheduler_coverage, audit_trace_topology, CoverageReport, TopologyViolation,
+    audit_scheduler_coverage, audit_simulation_topology, audit_trace_topology, CoverageReport,
+    SimulationTopologyReport, SimulationTopologyViolation, TopologyViolation,
 };

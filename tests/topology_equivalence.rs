@@ -18,19 +18,27 @@
 //! 3. **Fairness** — statistical (chi-square-style) uniformity of
 //!    topology edge sampling, and the round-robin scheduler's hard
 //!    rotation guarantee.
+//! 4. **Graphical simulators** — the layer-2/3 simulators (`SKnO`,
+//!    `SID`, `NamedSid`) built with their `graphical` constructors on
+//!    `Topology::complete(n)` are *bit-identical* (full simulator
+//!    states, `RunStats`, RNG stream) to the classic anonymous
+//!    simulators; on restricted graphs their traces pass the
+//!    simulation-embedding audit, and the builders enforce the
+//!    program-side topology negotiation with typed errors.
 //!
 //! CI runs this suite with `PROPTEST_CASES=32` on every push.
 
 use proptest::prelude::*;
 
+use ppfts::core::{NamedSid, Sid, Skno};
 use ppfts::engine::{
     EngineError, FullTrace, InteractionLaw, OneWayModel, OneWayProgram, OneWayRunner, RateStrategy,
     RoundRobinScheduler, Scheduler, StatsOnly, TopologyScheduler, TwoWayModel, TwoWayRunner,
     UniformScheduler,
 };
-use ppfts::population::{Configuration, CountConfiguration, Topology};
-use ppfts::protocols::{Epidemic, MaxGossip};
-use ppfts::verify::{audit_scheduler_coverage, audit_trace_topology};
+use ppfts::population::{Configuration, CountConfiguration, Topology, TopologyError};
+use ppfts::protocols::{Epidemic, MaxGossip, Pairing};
+use ppfts::verify::{audit_scheduler_coverage, audit_simulation_topology, audit_trace_topology};
 
 /// One-way epidemic: the reactor catches whatever the starter carries.
 struct Or;
@@ -355,6 +363,207 @@ proptest! {
         );
     }
 
+    /// Graphical `SKnO` on the complete topology is bit-identical to the
+    /// classic anonymous `SKnO`: same full simulator states (token
+    /// queues, sites, pending flags), same `RunStats`, same RNG stream —
+    /// across models, omission rates, batch sizes and bounds.
+    #[test]
+    fn graphical_skno_on_complete_equals_anonymous_skno(
+        n in 2usize..10,
+        o in 0u32..3,
+        i3 in any::<bool>(),
+        rate in 0u32..=60,
+        seed in 0u64..10_000,
+        steps in 0u64..400,
+        batch in 1u64..130,
+    ) {
+        let model = if i3 { OneWayModel::I3 } else { OneWayModel::I4 };
+        let sims: Vec<_> = Pairing::initial(n / 2, n - n / 2).as_slice().to_vec();
+        let anonymous = {
+            let mut r = OneWayRunner::builder(model, Skno::new(Pairing, o))
+                .config(Skno::<Pairing>::initial(&sims))
+                .adversary(RateStrategy::new(rate as f64 / 100.0))
+                .seed(seed)
+                .trace_sink(StatsOnly)
+                .build()
+                .unwrap();
+            r.run(steps).unwrap();
+            (r.config().clone(), r.stats(), r.steps())
+        };
+        for batched in [None, Some(batch)] {
+            let mut r = OneWayRunner::builder(
+                model,
+                Skno::graphical(Pairing, o, Topology::complete(n).unwrap()),
+            )
+            .config(Skno::<Pairing>::initial(&sims))
+            .topology(Topology::complete(n).unwrap())
+            .adversary(RateStrategy::new(rate as f64 / 100.0))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+            match batched {
+                Some(b) => r.run_batched(steps, b).unwrap(),
+                None => r.run(steps).unwrap(),
+            }
+            prop_assert_eq!(
+                (r.config().clone(), r.stats(), r.steps()),
+                anonymous.clone(),
+                "batched: {:?}",
+                batched
+            );
+        }
+    }
+
+    /// Graphical `SID` and `NamedSid` on the complete topology are
+    /// bit-identical to their classic constructors (full states and RNG
+    /// stream; `SID`'s adjacency guard is vacuous on the complete graph).
+    #[test]
+    fn graphical_sid_and_named_on_complete_equal_classic(
+        n in 2usize..10,
+        named in any::<bool>(),
+        seed in 0u64..10_000,
+        steps in 0u64..400,
+        batch in 1u64..130,
+    ) {
+        let sims: Vec<_> = Pairing::initial(n / 2, n - n / 2).as_slice().to_vec();
+        if named {
+            let classic = {
+                let mut r = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(Pairing, n))
+                    .config(NamedSid::<Pairing>::initial(&sims))
+                    .seed(seed)
+                    .trace_sink(StatsOnly)
+                    .build()
+                    .unwrap();
+                r.run(steps).unwrap();
+                (r.config().clone(), r.stats(), r.steps())
+            };
+            let mut r = OneWayRunner::builder(
+                OneWayModel::Io,
+                NamedSid::graphical(Pairing, Topology::complete(n).unwrap()),
+            )
+            .config(NamedSid::<Pairing>::initial(&sims))
+            .topology(Topology::complete(n).unwrap())
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+            r.run_batched(steps, batch).unwrap();
+            prop_assert_eq!((r.config().clone(), r.stats(), r.steps()), classic);
+        } else {
+            let classic = {
+                let mut r = OneWayRunner::builder(OneWayModel::Io, Sid::new(Pairing))
+                    .config(Sid::<Pairing>::initial(&sims))
+                    .seed(seed)
+                    .trace_sink(StatsOnly)
+                    .build()
+                    .unwrap();
+                r.run(steps).unwrap();
+                (r.config().clone(), r.stats(), r.steps())
+            };
+            let mut r = OneWayRunner::builder(
+                OneWayModel::Io,
+                Sid::graphical(Pairing, Topology::complete(n).unwrap()),
+            )
+            .config(Sid::<Pairing>::initial(&sims))
+            .topology(Topology::complete(n).unwrap())
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+            r.run_batched(steps, batch).unwrap();
+            prop_assert_eq!((r.config().clone(), r.stats(), r.steps()), classic);
+        }
+    }
+
+    /// On restricted graphs, every trace a graphical simulator produces
+    /// passes the simulation-embedding audit: physical interactions are
+    /// graph arcs AND every simulated commit pairs adjacent vertices.
+    #[test]
+    fn graphical_simulator_traces_stay_on_graph(
+        pick in 0u8..4,
+        n in 4usize..12,
+        gseed in 0u64..50,
+        skno in any::<bool>(),
+        o in 0u32..2,
+        seed in 0u64..10_000,
+        steps in 1u64..600,
+    ) {
+        let topology = restricted_topology(n, pick, gseed);
+        let n = restricted_len(&topology);
+        let sims: Vec<_> = Pairing::initial(n / 2, n - n / 2).as_slice().to_vec();
+        if skno {
+            let mut r = OneWayRunner::builder(
+                OneWayModel::I3,
+                Skno::graphical(Pairing, o, topology.clone()),
+            )
+            .config(Skno::<Pairing>::initial(&sims))
+            .topology(topology.clone())
+            .adversary(RateStrategy::new(0.1))
+            .seed(seed)
+            .record_trace(true)
+            .build()
+            .unwrap();
+            r.run(steps).unwrap();
+            let report = audit_simulation_topology(r.trace().unwrap(), &topology);
+            prop_assert!(report.is_ok(), "violation: {:?}", report);
+            let report = report.unwrap();
+            prop_assert_eq!(report.physical.draws, steps);
+            // Every graphical SKnO commit names its partner vertex.
+            prop_assert_eq!(report.commits, report.located_commits);
+        } else {
+            let mut r = OneWayRunner::builder(
+                OneWayModel::Io,
+                Sid::graphical(Pairing, topology.clone()),
+            )
+            .config(Sid::<Pairing>::initial(&sims))
+            .topology(topology.clone())
+            .seed(seed)
+            .record_trace(true)
+            .build()
+            .unwrap();
+            r.run(steps).unwrap();
+            let report = audit_simulation_topology(r.trace().unwrap(), &topology);
+            prop_assert!(report.is_ok(), "violation: {:?}", report);
+            prop_assert_eq!(report.unwrap().physical.draws, steps);
+        }
+    }
+
+    /// The satellite fix: `Topology::random_regular`'s stub-pairing loop
+    /// is hard-bounded. For *any* admissible-looking parameterization it
+    /// terminates with either a valid graph or a typed error — never a
+    /// hang, never a panic — and `d = 1` on more than two vertices
+    /// (perfect matchings, never connected) always fails typed.
+    #[test]
+    fn random_regular_retry_loop_is_bounded_and_typed(
+        n in 2usize..40,
+        d in 1usize..6,
+        seed in 0u64..5_000,
+    ) {
+        match Topology::random_regular(n, d, seed) {
+            Ok(t) => {
+                prop_assert_eq!(t.len(), n);
+                for v in 0..n {
+                    prop_assert_eq!(t.degree(v), d);
+                }
+            }
+            Err(TopologyError::InvalidDegree { .. }) => {
+                prop_assert!(d == 0 || d >= n || (n * d) % 2 == 1);
+            }
+            Err(TopologyError::PairingFailed { attempts }) => {
+                prop_assert!(attempts > 0);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+        }
+        if n > 2 && d == 1 {
+            prop_assert!(matches!(
+                Topology::random_regular(n, 1, seed),
+                Err(TopologyError::InvalidDegree { .. })
+                    | Err(TopologyError::PairingFailed { .. })
+            ));
+        }
+    }
+
     /// Round-robin rotation fairness: over r complete rounds every
     /// ordered pair is dealt exactly r times — the hard guarantee the
     /// scheduler documents, checked across population sizes and seeds.
@@ -378,6 +587,99 @@ proptest! {
             prop_assert_eq!(count, rounds, "pair {} dealt {} times", pair, count);
         }
     }
+}
+
+#[test]
+fn builders_negotiate_program_topologies() {
+    let ring = Topology::ring(8).unwrap();
+    let sims: Vec<_> = Pairing::initial(4, 4).as_slice().to_vec();
+    // A graphical simulator with the default (uniform) scheduler: the
+    // program is graph-bound, the scheduler deals another law.
+    let err = OneWayRunner::builder(OneWayModel::Io, Sid::graphical(Pairing, ring.clone()))
+        .config(Sid::<Pairing>::initial(&sims))
+        .build()
+        .err()
+        .expect("graphical SID under a uniform scheduler must not build");
+    assert!(matches!(
+        err,
+        EngineError::ProgramTopologyMismatch {
+            law: InteractionLaw::Uniform,
+            ..
+        }
+    ));
+    // A *different* restricted topology is rejected too.
+    let err = OneWayRunner::builder(OneWayModel::Io, Sid::graphical(Pairing, ring.clone()))
+        .config(Sid::<Pairing>::initial(&sims))
+        .topology(Topology::star(8).unwrap())
+        .build()
+        .err()
+        .expect("graphical SID on a foreign topology must not build");
+    assert!(matches!(
+        err,
+        EngineError::ProgramTopologyMismatch {
+            law: InteractionLaw::Topological,
+            ..
+        }
+    ));
+    // A population that does not span the program's graph is a size
+    // mismatch even before the scheduler is consulted.
+    let small: Vec<_> = Pairing::initial(3, 3).as_slice().to_vec();
+    let err = OneWayRunner::builder(OneWayModel::Io, Sid::graphical(Pairing, ring.clone()))
+        .config(Sid::<Pairing>::initial(&small))
+        .build()
+        .err()
+        .expect("six agents cannot span an eight-vertex graph");
+    assert!(matches!(
+        err,
+        EngineError::TopologySizeMismatch {
+            topology: 8,
+            population: 6
+        }
+    ));
+    // The matching topology builds; a *complete* program topology is
+    // satisfied by the plain uniform scheduler as well.
+    assert!(
+        OneWayRunner::builder(OneWayModel::Io, Sid::graphical(Pairing, ring.clone()))
+            .config(Sid::<Pairing>::initial(&sims))
+            .topology(ring)
+            .build()
+            .is_ok()
+    );
+    assert!(OneWayRunner::builder(
+        OneWayModel::Io,
+        Sid::graphical(Pairing, Topology::complete(8).unwrap())
+    )
+    .config(Sid::<Pairing>::initial(&sims))
+    .build()
+    .is_ok());
+}
+
+#[test]
+fn conductance_instrumentation_matches_the_e13_families() {
+    // The instrumentation the E13 experiment charts simulators against:
+    // conductance orders the families, and Cheeger's inequality brackets
+    // it by the spectral gap on both the exact and estimated paths.
+    let ring = Topology::ring(64).unwrap();
+    let rr4 = Topology::random_regular(64, 4, 12).unwrap();
+    let complete = Topology::complete(64).unwrap();
+    let (phi_ring, phi_rr4, phi_complete) = (
+        ring.conductance(),
+        rr4.conductance(),
+        complete.conductance(),
+    );
+    assert!(phi_ring < phi_rr4 && phi_rr4 < phi_complete);
+    for t in [&ring, &rr4, &complete] {
+        let gap = t.spectral_profile(20_000).spectral_gap;
+        let phi = t.conductance();
+        assert!(
+            gap / 2.0 <= phi + 1e-9 && phi <= (2.0 * gap).sqrt() + 1e-9,
+            "{t}: Cheeger violated — gap {gap}, Φ {phi}"
+        );
+    }
+    // Small graphs are exact; the exact value agrees with the general
+    // entry point.
+    let small = Topology::ring(12).unwrap();
+    assert_eq!(small.conductance_exact().unwrap(), small.conductance());
 }
 
 #[test]
