@@ -1,0 +1,88 @@
+//! The static-analysis gate.
+//!
+//! Runs the `ppfts-analyze` suite over the protocol library and the
+//! simulator embeddings, printing a findings table and the E14
+//! verification grid.
+//!
+//! Usage: `ppfts_analyze [--smoke] [CHECK_ID ...]`
+//!
+//! With no ids, the whole suite runs. `--smoke` restricts to the fast
+//! count-space checks (skipping the dense simulator product spaces).
+//! Exit-code contract (shared with `bench_gate`): **0** clean, **1**
+//! error-severity findings, **2** usage error (unknown id or flag).
+
+use std::process::ExitCode;
+
+use ppfts_analyze::{grid_table, run_suite, suite_ids, Severity, SUITE};
+
+/// Checks cheap enough for `--smoke` (count spaces and pure lints only).
+const SMOKE: &[&str] = &[
+    "epidemic",
+    "exact-majority",
+    "approximate-majority",
+    "remainder",
+    "flock",
+    "majority-mutant",
+];
+
+fn usage() {
+    eprintln!("usage: ppfts_analyze [--smoke] [CHECK_ID ...]");
+    eprintln!("known checks:");
+    for check in SUITE {
+        eprintln!("  {:<22} {}", check.id, check.title);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("ppfts_analyze: unknown flag `{flag}`");
+                usage();
+                return ExitCode::from(2);
+            }
+            id => ids.push(id.to_lowercase()),
+        }
+    }
+
+    for id in &ids {
+        if !suite_ids().any(|known| known == id) {
+            eprintln!("ppfts_analyze: unknown check `{id}`");
+            usage();
+            return ExitCode::from(2);
+        }
+    }
+    if smoke && ids.is_empty() {
+        ids = SMOKE.iter().map(|s| (*s).to_string()).collect();
+    } else if smoke {
+        ids.retain(|id| SMOKE.contains(&id.as_str()));
+    }
+
+    let selected: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let (report, grid) = run_suite(&selected);
+
+    println!("# ppfts_analyze");
+    println!();
+    if report.findings().is_empty() {
+        println!("No findings.");
+    } else {
+        println!("{}", report.table());
+    }
+    println!("## Verification grid (E14)");
+    println!();
+    println!("{}", grid_table(&grid));
+    println!(
+        "{} error(s), {} warning(s), {} note(s).",
+        report.count(Severity::Error),
+        report.count(Severity::Warning),
+        report.count(Severity::Note)
+    );
+    report.exit_code()
+}

@@ -1,0 +1,928 @@
+//! Exhaustive budgeted model checking of small populations.
+//!
+//! `ppfts-verify`'s `model_check` decides stabilization of *fault-free*
+//! GF executions. The paper's tolerance claims are stronger: they
+//! quantify over an **adversary** that may lose up to `o` transmissions
+//! anywhere in the run. This module adds that adversary to the exhaustive
+//! exploration: a node of the search space is a pair *(configuration,
+//! omissions spent)*, fault-free edges stay on their level, and omission
+//! edges descend one budget level until the `o` budget is exhausted.
+//!
+//! The verdict is exact, not sampled. An execution with at most `o`
+//! omissions performs them at finitely many points; after the last one it
+//! is an ordinary globally-fair fault-free execution from wherever the
+//! adversary left the system. So the protocol *converges from every
+//! reachable configuration* iff for **every** configuration reachable
+//! under the budget, every terminal SCC of the **fault-free** transition
+//! graph reachable from it satisfies the target predicate. Stall-freedom
+//! is subsumed: a reachable deadlock is a singleton terminal SCC that
+//! fails the predicate.
+//!
+//! Two explorers share this verdict logic:
+//!
+//! * [`check_two_way_counts`] — multiset (count-backend) exploration of
+//!   anonymous two-way protocols, practical to n ≈ 12;
+//! * [`check_one_way_dense`] — per-agent exploration of one-way programs
+//!   (the simulators, whose graphical variants are *not* anonymous),
+//!   practical to n ≈ 6.
+//!
+//! Counterexamples are extracted as BFS-shortest traces and replay
+//! through the existing runners ([`realize_count_trace`] lifts a count
+//! trace to dense `Planned` steps; dense traces are already `Planned`).
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use ppfts_engine::{
+    outcome, OneWayFault, OneWayModel, OneWayProgram, Planned, TwoWayFault, TwoWayModel,
+    TwoWayProgram,
+};
+use ppfts_population::{CountConfiguration, Interaction, Multiset, State, Topology};
+
+/// Exploration failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalyzeError {
+    /// The budgeted search space exceeded the node cap.
+    TooManyNodes {
+        /// The cap that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::TooManyNodes { limit } => {
+                write!(f, "budgeted search space exceeded {limit} nodes")
+            }
+        }
+    }
+}
+
+impl Error for AnalyzeError {}
+
+/// Outcome of an exhaustive check: either a proof (the predicate holds in
+/// every terminal SCC reachable from every budget-reachable
+/// configuration) or a concrete counterexample trace.
+#[derive(Clone, Debug)]
+pub enum Verdict<T> {
+    /// The property holds from every reachable configuration.
+    Proved,
+    /// A reachable configuration from which some fair fault-free
+    /// execution stabilizes without the predicate — with the trace that
+    /// reaches it.
+    Counterexample(T),
+}
+
+impl<T> Verdict<T> {
+    /// Whether the check proved the property.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved)
+    }
+
+    /// The counterexample, if one was found.
+    pub fn counterexample(&self) -> Option<&T> {
+        match self {
+            Verdict::Proved => None,
+            Verdict::Counterexample(t) => Some(t),
+        }
+    }
+}
+
+/// One step of a count-level counterexample: the interacting state pair
+/// and the fault the adversary chose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountStep<Q> {
+    /// The starter's state before the step.
+    pub starter: Q,
+    /// The reactor's state before the step.
+    pub reactor: Q,
+    /// The fault decoration.
+    pub fault: TwoWayFault,
+}
+
+/// A count-level counterexample: a BFS-shortest budgeted trace from the
+/// initial configuration to a configuration inside (or leading into) a
+/// terminal SCC violating the predicate.
+#[derive(Clone, Debug)]
+pub struct CountTrace<Q: State> {
+    /// The steps, in execution order.
+    pub steps: Vec<CountStep<Q>>,
+    /// The violating configuration the trace ends in.
+    pub witness: Multiset<Q>,
+}
+
+/// Result of [`check_two_way_counts`].
+#[derive(Clone, Debug)]
+pub struct CountCheck<Q: State> {
+    /// Budgeted search nodes explored ((configuration, spent) pairs).
+    pub nodes: usize,
+    /// Distinct configurations reachable under the budget.
+    pub configs: usize,
+    /// The verdict.
+    pub verdict: Verdict<CountTrace<Q>>,
+    reachable: Vec<Multiset<Q>>,
+}
+
+impl<Q: State> CountCheck<Q> {
+    /// Every distinct configuration reachable under the omission budget.
+    pub fn reachable(&self) -> &[Multiset<Q>] {
+        &self.reachable
+    }
+
+    /// Whether `config` is reachable under the omission budget — the
+    /// soundness contract the proptest harness checks against observed
+    /// simulation states.
+    pub fn is_reachable(&self, config: &Multiset<Q>) -> bool {
+        self.reachable.iter().any(|c| c.same_as(config))
+    }
+}
+
+type Pairs<Q> = Vec<(Q, usize)>;
+
+/// A budgeted successor: next sorted-pairs node, omissions used, and the
+/// step that produced it.
+type CountSucc<Q> = (Pairs<Q>, u32, CountStep<Q>);
+
+/// Rebuilds a multiset from its canonical sorted-pairs form.
+fn multiset_of<Q: State>(pairs: &[(Q, usize)]) -> Multiset<Q> {
+    let mut m = Multiset::new();
+    for (q, k) in pairs {
+        m.insert_many(q.clone(), *k);
+    }
+    m
+}
+
+/// Exhaustively checks a two-way program on the count backend under the
+/// `(budget, model)` omission adversary.
+///
+/// Proves that from **every** configuration reachable with at most
+/// `budget` omissions, every globally-fair fault-free continuation
+/// stabilizes into configurations satisfying `pred` — or extracts a
+/// shortest counterexample trace.
+///
+/// # Errors
+///
+/// [`AnalyzeError::TooManyNodes`] if the budgeted space exceeds
+/// `max_nodes`.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_analyze::check_two_way_counts;
+/// use ppfts_engine::TwoWayModel;
+/// use ppfts_population::Multiset;
+/// use ppfts_protocols::Epidemic;
+///
+/// let mut c0 = Multiset::new();
+/// c0.insert_many(true, 1);
+/// c0.insert_many(false, 9);
+/// let check = check_two_way_counts(TwoWayModel::T1, &Epidemic, &c0, 1, 100_000, |c| {
+///     c.count(&true) == 10
+/// })?;
+/// // Epidemic still floods at n = 10 under one adversarial omission.
+/// assert!(check.verdict.is_proved());
+/// # Ok::<(), ppfts_analyze::AnalyzeError>(())
+/// ```
+pub fn check_two_way_counts<P>(
+    model: TwoWayModel,
+    program: &P,
+    initial: &Multiset<P::State>,
+    budget: u32,
+    max_nodes: usize,
+    mut pred: impl FnMut(&Multiset<P::State>) -> bool,
+) -> Result<CountCheck<P::State>, AnalyzeError>
+where
+    P: TwoWayProgram,
+    P::State: Ord,
+{
+    let faults = model.permitted_faults();
+    let successors = |pairs: &Pairs<P::State>, used: u32| {
+        let base = CountConfiguration::from_groups(pairs.iter().cloned());
+        let mut out: Vec<CountSucc<P::State>> = Vec::new();
+        for (s, cs) in pairs {
+            for (r, cr) in pairs {
+                if s == r && (*cs < 2 || *cr < 2) {
+                    continue;
+                }
+                for &fault in faults {
+                    if fault.is_omissive() && used >= budget {
+                        continue;
+                    }
+                    let (s2, r2) = outcome::two_way(model, program, s, r, fault)
+                        .expect("fault is permitted by the model");
+                    let mut succ = base.clone();
+                    succ.apply_outcome(s, r, (s2, r2))
+                        .expect("states drawn from the configuration");
+                    out.push((
+                        succ.counts().sorted_pairs(),
+                        used + u32::from(fault.is_omissive()),
+                        CountStep {
+                            starter: s.clone(),
+                            reactor: r.clone(),
+                            fault,
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    };
+
+    let root = initial.sorted_pairs();
+    let mut node_of: HashMap<(Pairs<P::State>, u32), usize> = HashMap::new();
+    let mut nodes: Vec<(Pairs<P::State>, u32)> = vec![(root.clone(), 0)];
+    let mut parent: Vec<Option<(usize, CountStep<P::State>)>> = vec![None];
+    node_of.insert((root, 0), 0);
+    let mut frontier = VecDeque::from([0usize]);
+    while let Some(node) = frontier.pop_front() {
+        let (pairs, used) = nodes[node].clone();
+        for (succ_pairs, succ_used, step) in successors(&pairs, used) {
+            let key = (succ_pairs, succ_used);
+            if node_of.contains_key(&key) {
+                continue;
+            }
+            if nodes.len() >= max_nodes {
+                return Err(AnalyzeError::TooManyNodes { limit: max_nodes });
+            }
+            let fresh = nodes.len();
+            node_of.insert(key.clone(), fresh);
+            nodes.push(key);
+            parent.push(Some((node, step)));
+            frontier.push_back(fresh);
+        }
+    }
+
+    // Distinct configurations (budget levels collapsed), with a
+    // representative budgeted node for trace extraction.
+    let mut cfg_of: HashMap<Pairs<P::State>, usize> = HashMap::new();
+    let mut cfgs: Vec<Pairs<P::State>> = Vec::new();
+    let mut rep: Vec<usize> = Vec::new();
+    for (i, (pairs, _)) in nodes.iter().enumerate() {
+        cfg_of.entry(pairs.clone()).or_insert_with(|| {
+            cfgs.push(pairs.clone());
+            rep.push(i);
+            cfgs.len() - 1
+        });
+    }
+
+    // Fault-free configuration graph over the reachable set (closed under
+    // fault-free steps by construction: every fault-free successor was
+    // explored at the same budget level).
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); cfgs.len()];
+    for (ci, pairs) in cfgs.iter().enumerate() {
+        let base = CountConfiguration::from_groups(pairs.iter().cloned());
+        for (s, cs) in pairs {
+            for (r, cr) in pairs {
+                if s == r && (*cs < 2 || *cr < 2) {
+                    continue;
+                }
+                let (s2, r2) = outcome::two_way(model, program, s, r, TwoWayFault::None)
+                    .expect("fault-free is always permitted");
+                let mut succ = base.clone();
+                succ.apply_outcome(s, r, (s2, r2))
+                    .expect("states drawn from the configuration");
+                let key = succ.counts().sorted_pairs();
+                let cj = cfg_of[&key];
+                if !edges[ci].contains(&cj) {
+                    edges[ci].push(cj);
+                }
+            }
+        }
+    }
+
+    let mut verdict = Verdict::Proved;
+    'search: for comp in terminal_sccs(&edges) {
+        for &cfg in &comp {
+            let m = multiset_of(&cfgs[cfg]);
+            if !pred(&m) {
+                // Walk the budgeted BFS tree back from the violating
+                // configuration's representative node.
+                let mut steps = Vec::new();
+                let mut at = rep[cfg];
+                while let Some((prev, step)) = &parent[at] {
+                    steps.push(step.clone());
+                    at = *prev;
+                }
+                steps.reverse();
+                verdict = Verdict::Counterexample(CountTrace { steps, witness: m });
+                break 'search;
+            }
+        }
+    }
+
+    Ok(CountCheck {
+        nodes: nodes.len(),
+        configs: cfgs.len(),
+        verdict,
+        reachable: cfgs.iter().map(|p| multiset_of(p)).collect(),
+    })
+}
+
+/// Lifts a count-level counterexample trace to dense per-agent
+/// [`Planned`] steps, replayable via `TwoWayRunner::apply_planned`.
+///
+/// Agents with equal states are interchangeable in an anonymous protocol,
+/// so a greedy index assignment (first agent currently in the starter
+/// state, first *other* agent in the reactor state) realizes the trace
+/// exactly. Returns `None` only if the trace does not actually fit the
+/// initial configuration (a checker bug, not an input condition).
+pub fn realize_count_trace<P>(
+    model: TwoWayModel,
+    program: &P,
+    initial: &[P::State],
+    steps: &[CountStep<P::State>],
+) -> Option<Vec<Planned<TwoWayFault>>>
+where
+    P: TwoWayProgram,
+{
+    let mut dense: Vec<P::State> = initial.to_vec();
+    let mut plan = Vec::with_capacity(steps.len());
+    for step in steps {
+        let s = dense.iter().position(|q| *q == step.starter)?;
+        let r = dense
+            .iter()
+            .enumerate()
+            .position(|(j, q)| j != s && *q == step.reactor)?;
+        let (s2, r2) = outcome::two_way(model, program, &dense[s], &dense[r], step.fault).ok()?;
+        dense[s] = s2;
+        dense[r] = r2;
+        plan.push(Planned::new(
+            Interaction::new(s, r).expect("distinct indices"),
+            step.fault,
+        ));
+    }
+    Some(plan)
+}
+
+/// A dense (per-agent) counterexample: `Planned` steps replayable via
+/// `OneWayRunner::apply_planned`, plus the violating per-agent witness.
+#[derive(Clone, Debug)]
+pub struct DenseTrace<S> {
+    /// The steps, in execution order.
+    pub steps: Vec<Planned<OneWayFault>>,
+    /// The violating per-agent configuration the trace ends in.
+    pub witness: Vec<S>,
+}
+
+/// Result of [`check_one_way_dense`].
+#[derive(Clone, Debug)]
+pub struct DenseCheck<S> {
+    /// Budgeted search nodes explored.
+    pub nodes: usize,
+    /// Distinct per-agent configurations reachable under the budget.
+    pub configs: usize,
+    /// The verdict.
+    pub verdict: Verdict<DenseTrace<S>>,
+}
+
+/// Exhaustively checks a one-way program over the **dense per-agent**
+/// product space under the `(budget, model)` omission adversary —
+/// the explorer for the simulators, whose graphical variants address
+/// agents by vertex and therefore are not anonymous.
+///
+/// Interactions range over the arcs of `topology` (every ordered pair
+/// when `None`). The verdict logic matches [`check_two_way_counts`]:
+/// from every budget-reachable configuration, every fault-free terminal
+/// SCC must satisfy `pred`.
+///
+/// # Errors
+///
+/// [`AnalyzeError::TooManyNodes`] if the budgeted space exceeds
+/// `max_nodes`.
+pub fn check_one_way_dense<P>(
+    model: OneWayModel,
+    program: &P,
+    initial: &[P::State],
+    budget: u32,
+    topology: Option<&Topology>,
+    max_nodes: usize,
+    mut pred: impl FnMut(&[P::State]) -> bool,
+) -> Result<DenseCheck<P::State>, AnalyzeError>
+where
+    P: OneWayProgram,
+{
+    let n = initial.len();
+    let pairs: Vec<Interaction> = match topology {
+        Some(t) => (0..t.arc_count()).map(|a| t.arc(a)).collect(),
+        None => {
+            let mut v = Vec::new();
+            for s in 0..n {
+                for r in 0..n {
+                    if s != r {
+                        v.push(Interaction::new(s, r).expect("distinct indices"));
+                    }
+                }
+            }
+            v
+        }
+    };
+    let faults = model.permitted_faults();
+
+    let apply = |states: &[P::State], i: Interaction, fault: OneWayFault| {
+        let (s, r) = (i.starter().index(), i.reactor().index());
+        let (s2, r2) = outcome::one_way(model, program, &states[s], &states[r], fault)
+            .expect("fault is permitted by the model");
+        let mut succ = states.to_vec();
+        succ[s] = s2;
+        succ[r] = r2;
+        succ
+    };
+
+    let root: Vec<P::State> = initial.to_vec();
+    let mut node_of: HashMap<(Vec<P::State>, u32), usize> = HashMap::new();
+    let mut nodes: Vec<(Vec<P::State>, u32)> = vec![(root.clone(), 0)];
+    let mut parent: Vec<Option<(usize, Planned<OneWayFault>)>> = vec![None];
+    node_of.insert((root, 0), 0);
+    let mut frontier = VecDeque::from([0usize]);
+    while let Some(node) = frontier.pop_front() {
+        let (states, used) = nodes[node].clone();
+        for &i in &pairs {
+            for &fault in faults {
+                if fault.is_omissive() && used >= budget {
+                    continue;
+                }
+                let succ = apply(&states, i, fault);
+                let key = (succ, used + u32::from(fault.is_omissive()));
+                if node_of.contains_key(&key) {
+                    continue;
+                }
+                if nodes.len() >= max_nodes {
+                    return Err(AnalyzeError::TooManyNodes { limit: max_nodes });
+                }
+                let fresh = nodes.len();
+                node_of.insert(key.clone(), fresh);
+                nodes.push(key);
+                parent.push(Some((node, Planned::new(i, fault))));
+                frontier.push_back(fresh);
+            }
+        }
+    }
+
+    let mut cfg_of: HashMap<Vec<P::State>, usize> = HashMap::new();
+    let mut cfgs: Vec<Vec<P::State>> = Vec::new();
+    let mut rep: Vec<usize> = Vec::new();
+    for (i, (states, _)) in nodes.iter().enumerate() {
+        cfg_of.entry(states.clone()).or_insert_with(|| {
+            cfgs.push(states.clone());
+            rep.push(i);
+            cfgs.len() - 1
+        });
+    }
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); cfgs.len()];
+    for (ci, states) in cfgs.iter().enumerate() {
+        for &i in &pairs {
+            let succ = apply(states, i, OneWayFault::None);
+            let cj = cfg_of[&succ];
+            if !edges[ci].contains(&cj) {
+                edges[ci].push(cj);
+            }
+        }
+    }
+
+    let mut verdict = Verdict::Proved;
+    'search: for comp in terminal_sccs(&edges) {
+        for &cfg in &comp {
+            if !pred(&cfgs[cfg]) {
+                let mut steps = Vec::new();
+                let mut at = rep[cfg];
+                while let Some((prev, step)) = &parent[at] {
+                    steps.push(*step);
+                    at = *prev;
+                }
+                steps.reverse();
+                verdict = Verdict::Counterexample(DenseTrace {
+                    steps,
+                    witness: cfgs[cfg].clone(),
+                });
+                break 'search;
+            }
+        }
+    }
+
+    Ok(DenseCheck {
+        nodes: nodes.len(),
+        configs: cfgs.len(),
+        verdict,
+    })
+}
+
+/// A configuration whose unanimous output can still flip: the config, its
+/// current unanimous output, and a different unanimous output reachable
+/// from it.
+#[derive(Clone, Debug)]
+pub struct OutputFlip<Q: State, Y> {
+    /// The configuration with premature unanimity.
+    pub config: Multiset<Q>,
+    /// Its unanimous output.
+    pub output: Y,
+    /// A different unanimous output still reachable from it.
+    pub flips_to: Y,
+}
+
+/// Finds reachable configurations whose unanimous output is not yet
+/// stable — some continuation reaches unanimity on a *different* value.
+///
+/// This powers the output-instability lint. The exploration is
+/// deliberately **unbudgeted** when `with_omissions` is set (every
+/// omissive edge of the model is available everywhere): the lint
+/// over-approximates to flag every flip shape, and its findings are
+/// advisory, not proofs.
+///
+/// # Errors
+///
+/// [`AnalyzeError::TooManyNodes`] if more than `max_nodes` configurations
+/// are reachable.
+pub fn unstable_outputs<P, Y>(
+    model: TwoWayModel,
+    program: &P,
+    initial: &Multiset<P::State>,
+    with_omissions: bool,
+    max_nodes: usize,
+    mut output: impl FnMut(&P::State) -> Y,
+) -> Result<Vec<OutputFlip<P::State, Y>>, AnalyzeError>
+where
+    P: TwoWayProgram,
+    P::State: Ord,
+    Y: Clone + PartialEq,
+{
+    let faults: Vec<TwoWayFault> = model
+        .permitted_faults()
+        .iter()
+        .copied()
+        .filter(|f| with_omissions || !f.is_omissive())
+        .collect();
+
+    let root = initial.sorted_pairs();
+    let mut node_of: HashMap<Pairs<P::State>, usize> = HashMap::new();
+    let mut cfgs: Vec<Pairs<P::State>> = vec![root.clone()];
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new()];
+    node_of.insert(root, 0);
+    let mut frontier = VecDeque::from([0usize]);
+    while let Some(node) = frontier.pop_front() {
+        let pairs = cfgs[node].clone();
+        let base = CountConfiguration::from_groups(pairs.iter().cloned());
+        for (s, cs) in &pairs {
+            for (r, cr) in &pairs {
+                if s == r && (*cs < 2 || *cr < 2) {
+                    continue;
+                }
+                for &fault in &faults {
+                    let (s2, r2) = outcome::two_way(model, program, s, r, fault)
+                        .expect("fault is permitted by the model");
+                    let mut succ = base.clone();
+                    succ.apply_outcome(s, r, (s2, r2))
+                        .expect("states drawn from the configuration");
+                    let key = succ.counts().sorted_pairs();
+                    let cj = match node_of.get(&key) {
+                        Some(&existing) => existing,
+                        None => {
+                            if cfgs.len() >= max_nodes {
+                                return Err(AnalyzeError::TooManyNodes { limit: max_nodes });
+                            }
+                            let fresh = cfgs.len();
+                            node_of.insert(key.clone(), fresh);
+                            cfgs.push(key);
+                            edges.push(Vec::new());
+                            frontier.push_back(fresh);
+                            fresh
+                        }
+                    };
+                    if !edges[node].contains(&cj) {
+                        edges[node].push(cj);
+                    }
+                }
+            }
+        }
+    }
+
+    // Unanimous output of each configuration, if any.
+    let unanimity: Vec<Option<Y>> = cfgs
+        .iter()
+        .map(|pairs| {
+            let mut it = pairs.iter().map(|(q, _)| output(q));
+            let first = it.next()?;
+            it.all(|y| y == first).then_some(first)
+        })
+        .collect();
+
+    // Distinct outputs present, and the reverse edge relation.
+    let mut outputs: Vec<Y> = Vec::new();
+    for y in unanimity.iter().flatten() {
+        if !outputs.contains(y) {
+            outputs.push(y.clone());
+        }
+    }
+    let mut redges: Vec<Vec<usize>> = vec![Vec::new(); cfgs.len()];
+    for (u, succs) in edges.iter().enumerate() {
+        for &v in succs {
+            redges[v].push(u);
+        }
+    }
+
+    // can_reach[k][u]: configuration u can reach unanimity on outputs[k].
+    let mut can_reach: Vec<Vec<bool>> = Vec::with_capacity(outputs.len());
+    for y in &outputs {
+        let mut seen = vec![false; cfgs.len()];
+        let mut queue: VecDeque<usize> = unanimity
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.as_ref() == Some(y))
+            .map(|(i, _)| i)
+            .collect();
+        for &q in &queue {
+            seen[q] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            for &u in &redges[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        can_reach.push(seen);
+    }
+
+    let mut flips = Vec::new();
+    for (u, uy) in unanimity.iter().enumerate() {
+        let Some(y) = uy else { continue };
+        for (k, y2) in outputs.iter().enumerate() {
+            if y2 != y && can_reach[k][u] {
+                flips.push(OutputFlip {
+                    config: multiset_of(&cfgs[u]),
+                    output: y.clone(),
+                    flips_to: y2.clone(),
+                });
+                break;
+            }
+        }
+    }
+    Ok(flips)
+}
+
+/// Terminal strongly-connected components of a successor-list graph
+/// (iterative Tarjan; the budgeted spaces can reach tens of thousands of
+/// nodes, so recursion is out).
+fn terminal_sccs(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (node, ref mut edge_pos)) = call.last_mut() {
+            if *edge_pos < edges[node].len() {
+                let succ = edges[node][*edge_pos];
+                *edge_pos += 1;
+                if index[succ] == usize::MAX {
+                    index[succ] = next_index;
+                    low[succ] = next_index;
+                    next_index += 1;
+                    stack.push(succ);
+                    on_stack[succ] = true;
+                    call.push((succ, 0));
+                } else if on_stack[succ] {
+                    low[node] = low[node].min(index[succ]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(prev, _)) = call.last() {
+                    low[prev] = low[prev].min(low[node]);
+                }
+                if low[node] == index[node] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+
+    let mut comp_of = vec![usize::MAX; n];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &node in comp {
+            comp_of[node] = ci;
+        }
+    }
+    sccs.into_iter()
+        .enumerate()
+        .filter(|(ci, comp)| {
+            comp.iter()
+                .all(|&node| edges[node].iter().all(|&succ| comp_of[succ] == *ci))
+        })
+        .map(|(_, comp)| comp)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfts_engine::{OneWayRunner, TwoWayRunner};
+    use ppfts_population::Semantics;
+    use ppfts_protocols::majority_states::{SX, SY, WX};
+    use ppfts_protocols::{Epidemic, ExactMajority, MajorityOpinion, Remainder, RemainderState};
+
+    fn epidemic_multiset(infected: usize, clean: usize) -> Multiset<bool> {
+        let mut m = Multiset::new();
+        m.insert_many(true, infected);
+        m.insert_many(false, clean);
+        m
+    }
+
+    #[test]
+    fn epidemic_proved_at_n10_under_one_omission() {
+        for o in [0, 1] {
+            let check = check_two_way_counts(
+                TwoWayModel::T1,
+                &Epidemic,
+                &epidemic_multiset(1, 9),
+                o,
+                100_000,
+                |c| c.count(&true) == 10,
+            )
+            .unwrap();
+            assert!(check.verdict.is_proved(), "o = {o}");
+            // n = 10 with 2 states: at most 11 configurations per level.
+            assert!(check.configs <= 11);
+        }
+    }
+
+    #[test]
+    fn exact_majority_margin_2_survives_one_omission() {
+        let mut c0 = Multiset::new();
+        c0.insert_many(SX, 6);
+        c0.insert_many(SY, 4);
+        for o in [0, 1] {
+            let check =
+                check_two_way_counts(TwoWayModel::T1, &ExactMajority, &c0, o, 1_000_000, |c| {
+                    let mut states = c.states();
+                    states.all(|q| ExactMajority.output(q) == MajorityOpinion::X)
+                })
+                .unwrap();
+            assert!(check.verdict.is_proved(), "o = {o}");
+        }
+    }
+
+    #[test]
+    fn remainder_counterexample_under_omission_replays() {
+        // Parity of four 1-inputs is even; a starter-side omission in an
+        // active/active merge loses a unit and flips the stable answer.
+        let parity = Remainder::new(2, 0);
+        let inputs = [1u32, 1, 1, 1];
+        let c0: Multiset<RemainderState> = parity
+            .initial_configuration(&inputs)
+            .as_slice()
+            .iter()
+            .cloned()
+            .collect();
+        let check = check_two_way_counts(TwoWayModel::T1, &parity, &c0, 1, 200_000, |c| {
+            let mut states = c.states();
+            states.all(|q| q.opinion)
+        })
+        .unwrap();
+        let trace = check
+            .verdict
+            .counterexample()
+            .expect("omissions break the remainder sum")
+            .clone();
+        assert!(trace.steps.iter().any(|s| s.fault.is_omissive()));
+
+        // The extracted trace replays through the dense runner and lands
+        // exactly on the witness configuration.
+        let initial = parity.initial_configuration(&inputs);
+        let plan = realize_count_trace(TwoWayModel::T1, &parity, initial.as_slice(), &trace.steps)
+            .expect("trace fits the initial configuration");
+        let mut runner = TwoWayRunner::builder(TwoWayModel::T1, parity)
+            .config(initial)
+            .build()
+            .unwrap();
+        runner.apply_planned(plan).unwrap();
+        assert!(runner.config().counts().same_as(&trace.witness));
+    }
+
+    /// One-way epidemic: the reactor absorbs the starter's infection bit.
+    struct Gossip;
+
+    impl ppfts_engine::OneWayProgram for Gossip {
+        type State = bool;
+
+        fn on_receive(&self, s: &bool, r: &bool) -> bool {
+            *s || *r
+        }
+    }
+
+    #[test]
+    fn dense_checker_proves_one_way_epidemic() {
+        let check = check_one_way_dense(
+            OneWayModel::Io,
+            &Gossip,
+            &[true, false, false],
+            0,
+            None,
+            100_000,
+            |states| states.iter().all(|b| *b),
+        )
+        .unwrap();
+        assert!(check.verdict.is_proved());
+    }
+
+    #[test]
+    fn dense_counterexample_replays_through_the_runner() {
+        // An impossible target (all agents false from a seeded infection)
+        // makes every terminal SCC a violation; the extracted trace must
+        // replay through the engine to the checker's exact witness.
+        let check = check_one_way_dense(
+            OneWayModel::Io,
+            &Gossip,
+            &[true, false],
+            0,
+            None,
+            10_000,
+            |states| states.iter().all(|b| !*b),
+        )
+        .unwrap();
+        let trace = check.verdict.counterexample().unwrap().clone();
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Gossip)
+            .config(ppfts_population::Configuration::new(vec![true, false]))
+            .build()
+            .unwrap();
+        runner.apply_planned(trace.steps.clone()).unwrap();
+        assert_eq!(runner.config().as_slice(), trace.witness.as_slice());
+    }
+
+    #[test]
+    fn node_cap_is_enforced() {
+        let err = check_two_way_counts(
+            TwoWayModel::T1,
+            &ExactMajority,
+            &{
+                let mut m = Multiset::new();
+                m.insert_many(SX, 4);
+                m.insert_many(SY, 3);
+                m
+            },
+            2,
+            3,
+            |_| true,
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalyzeError::TooManyNodes { limit: 3 });
+    }
+
+    #[test]
+    fn flock_premature_unanimity_is_flagged() {
+        use ppfts_protocols::FlockOfBirds;
+        let flock = FlockOfBirds::new(2);
+        let c0: Multiset<_> = flock
+            .initial_configuration(&[true, true, false])
+            .as_slice()
+            .iter()
+            .cloned()
+            .collect();
+        // Initially every agent outputs false, yet the threshold 2 is
+        // met: unanimity on false flips to unanimity on true.
+        let flips =
+            unstable_outputs(TwoWayModel::Tw, &flock, &c0, false, 100_000, |q| q.detected).unwrap();
+        assert!(flips
+            .iter()
+            .any(|f| !f.output && f.flips_to && f.config.same_as(&c0)));
+    }
+
+    #[test]
+    fn exact_majority_has_no_fault_free_output_flips() {
+        let mut c0 = Multiset::new();
+        c0.insert_many(SX, 3);
+        c0.insert_many(SY, 2);
+        let flips = unstable_outputs(TwoWayModel::Tw, &ExactMajority, &c0, false, 100_000, |q| {
+            ExactMajority.output(q)
+        })
+        .unwrap();
+        assert!(flips.is_empty(), "{flips:?}");
+        let _ = WX; // imported for sibling tests
+    }
+}

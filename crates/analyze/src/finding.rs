@@ -1,0 +1,196 @@
+//! Findings: what the analyzer has to say, and how it says it.
+
+use std::fmt;
+use std::process::ExitCode;
+
+/// How bad a finding is.
+///
+/// Only [`Severity::Error`] gates (exit code 1 from `ppfts_analyze`);
+/// warnings and notes are reported but do not fail CI. A *documented*
+/// behavior — e.g. `FlockOfBirds`' benign premature unanimity, or
+/// `Remainder`'s expected fragility under omissions — is a note, not an
+/// error: the analyzer's job is to flag the *unexpected*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: expected or documented behavior worth surfacing.
+    Note,
+    /// Suspicious but not necessarily wrong (dead rules, unreachable
+    /// states).
+    Warning,
+    /// A violated invariant or a failed proof obligation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "ERROR",
+        })
+    }
+}
+
+/// One thing the analyzer found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// The lint/check that produced the finding (e.g. `unreachable-state`,
+    /// `conservation`, `convergence`).
+    pub check: String,
+    /// What was analyzed (protocol or simulator name).
+    pub subject: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(
+        severity: Severity,
+        check: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            severity,
+            check: check.into(),
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an [`Severity::Error`] finding.
+    pub fn error(
+        check: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding::new(Severity::Error, check, subject, message)
+    }
+
+    /// Shorthand for a [`Severity::Warning`] finding.
+    pub fn warning(
+        check: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding::new(Severity::Warning, check, subject, message)
+    }
+
+    /// Shorthand for a [`Severity::Note`] finding.
+    pub fn note(
+        check: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding::new(Severity::Note, check, subject, message)
+    }
+}
+
+/// The collected findings of an analysis run, with the exit-code contract
+/// shared with `bench_gate` (see `ppfts-bench`):
+///
+/// * **0** — clean: no error-severity findings;
+/// * **1** — findings: at least one error;
+/// * **2** — usage error (unknown id or flag; decided by the binary, not
+///   here).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Appends every finding of `batch`.
+    pub fn extend(&mut self, batch: impl IntoIterator<Item = Finding>) {
+        self.findings.extend(batch);
+    }
+
+    /// All findings, in insertion order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Number of findings at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Whether the report gates (has at least one error).
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// The gate's exit code: 0 clean, 1 findings.
+    pub fn exit_code(&self) -> ExitCode {
+        if self.has_errors() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+
+    /// Renders the findings as a markdown table (empty string if clean).
+    pub fn table(&self) -> String {
+        if self.findings.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("| severity | check | subject | finding |\n|---|---|---|---|\n");
+        for f in &self.findings {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                f.severity, f.check, f.subject, f.message
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_note_warning_error() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_gates_on_errors_only() {
+        let mut r = Report::new();
+        assert!(!r.has_errors());
+        assert_eq!(r.exit_code(), ExitCode::SUCCESS);
+        r.push(Finding::warning("dead-rule", "P", "rule never fires"));
+        r.push(Finding::note("stability", "P", "documented"));
+        assert!(!r.has_errors());
+        r.push(Finding::error("conservation", "P", "margin leaks"));
+        assert!(r.has_errors());
+        assert_eq!(r.exit_code(), ExitCode::FAILURE);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.count(Severity::Error), 1);
+    }
+
+    #[test]
+    fn table_renders_every_finding() {
+        let mut r = Report::new();
+        assert!(r.table().is_empty());
+        r.push(Finding::error("c", "s", "m"));
+        let t = r.table();
+        assert!(t.contains("| ERROR | c | s | m |"));
+    }
+}

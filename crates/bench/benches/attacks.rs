@@ -27,7 +27,7 @@ fn bench_lemma1(c: &mut Criterion) {
                 .unwrap();
                 assert!(report.violated_safety());
                 report.plan_len
-            })
+            });
         });
     }
     group.finish();
@@ -47,7 +47,7 @@ fn bench_thm32(c: &mut Criterion) {
                             .unwrap();
                     assert!(report.violated_safety());
                     report.plan_len
-                })
+                });
             },
         );
     }

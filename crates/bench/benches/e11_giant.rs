@@ -31,14 +31,14 @@ fn bench_e11(c: &mut Criterion) {
             let conv = measure_epidemic_giant(N, 1, BUDGET);
             assert_eq!(conv.converged, 1, "seed 0 must converge in budget");
             conv.mean_steps
-        })
+        });
     });
     group.bench_function("epidemic_dense_n1e6", |b| {
         b.iter(|| {
             let conv = measure_epidemic_giant_dense(N, 1, BUDGET);
             assert_eq!(conv.converged, 1, "seed 0 must converge in budget");
             conv.mean_steps
-        })
+        });
     });
     group.finish();
 }

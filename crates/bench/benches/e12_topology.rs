@@ -57,7 +57,7 @@ fn bench_draws(c: &mut Criterion) {
     for n in [1_000usize, 10_000, 100_000] {
         for (family, topology) in families(n) {
             group.bench_function(format!("draws_{family}_{}", exp_label(n)), |b| {
-                b.iter(|| topology_draw_checksum(&topology, DRAWS, 1))
+                b.iter(|| topology_draw_checksum(&topology, DRAWS, 1));
             });
         }
     }
@@ -85,7 +85,7 @@ fn bench_epidemic(c: &mut Criterion) {
                     );
                     assert_eq!(conv.converged, 1, "seed 0 must converge in budget");
                     conv.mean_steps
-                })
+                });
             });
         }
     }

@@ -48,7 +48,7 @@ fn bench_graphical_ftt(c: &mut Criterion) {
                 b.iter(|| {
                     let conv = measure_sid_epidemic_graphical(&topology, 1, BUDGET);
                     black_box((conv.converged, conv.mean_steps))
-                })
+                });
             });
             for o in [0u32, 1, 2] {
                 group.bench_function(format!("skno_o{o}_{family}_n{n}"), |b| {
@@ -56,7 +56,7 @@ fn bench_graphical_ftt(c: &mut Criterion) {
                         let conv =
                             measure_skno_epidemic_graphical(&topology, o, OMISSION_RATE, 1, BUDGET);
                         black_box((conv.converged, conv.mean_steps))
-                    })
+                    });
                 });
             }
         }

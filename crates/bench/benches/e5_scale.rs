@@ -27,14 +27,14 @@ fn bench_e5(c: &mut Criterion) {
             let conv = measure_skno_scalar(16, 2, 1, 30_000_000);
             assert_eq!(conv.converged, 1, "seed 0 must converge in budget");
             conv.mean_steps
-        })
+        });
     });
     group.bench_function("batched_statsonly", |b| {
         b.iter(|| {
             let conv = measure_skno(16, 2, 1, 30_000_000);
             assert_eq!(conv.converged, 1, "seed 0 must converge in budget");
             conv.mean_steps
-        })
+        });
     });
     group.finish();
 }

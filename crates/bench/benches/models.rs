@@ -44,7 +44,7 @@ fn bench_models(c: &mut Criterion) {
                         .unwrap();
                     runner.run(steps).unwrap();
                     runner.stats().steps
-                })
+                });
             },
         );
     }
@@ -63,7 +63,7 @@ fn bench_models(c: &mut Criterion) {
                         .unwrap();
                     runner.run(steps).unwrap();
                     runner.stats().steps
-                })
+                });
             },
         );
     }

@@ -24,11 +24,13 @@ fn bench_naming(c: &mut Criterion) {
                     .build()
                     .unwrap();
                 let out = runner.run_until(100_000_000, |c| {
-                    c.as_slice().iter().all(|q| q.is_simulating())
+                    c.as_slice()
+                        .iter()
+                        .all(ppfts_core::NamedState::is_simulating)
                 });
                 assert!(out.is_satisfied());
                 out.steps()
-            })
+            });
         });
     }
     group.finish();

@@ -32,7 +32,7 @@ fn bench_schedulers(c: &mut Criterion) {
             });
             assert!(out.is_satisfied());
             out.steps()
-        })
+        });
     });
 
     group.bench_function(BenchmarkId::new("round_robin", n), |b| {
@@ -50,7 +50,7 @@ fn bench_schedulers(c: &mut Criterion) {
             });
             assert!(out.is_satisfied());
             out.steps()
-        })
+        });
     });
 
     group.finish();

@@ -30,7 +30,7 @@ fn bench_sid(c: &mut Criterion) {
                 });
                 assert!(out.is_satisfied());
                 out.steps()
-            })
+            });
         });
     }
     group.finish();
@@ -60,7 +60,7 @@ fn bench_skno(c: &mut Criterion) {
                         });
                         assert!(out.is_satisfied());
                         out.steps()
-                    })
+                    });
                 },
             );
         }

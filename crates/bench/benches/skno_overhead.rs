@@ -34,7 +34,7 @@ fn bench_convergence_vs_bound(c: &mut Criterion) {
                 });
                 assert!(out.is_satisfied());
                 out.steps()
-            })
+            });
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_memory_vs_bound(c: &mut Criterion) {
     group.sample_size(10);
     for o in [0u32, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(o), &o, |b, &o| {
-            b.iter(|| skno_peak_tokens(8, o, 20_000, 5))
+            b.iter(|| skno_peak_tokens(8, o, 20_000, 5));
         });
     }
     group.finish();

@@ -36,7 +36,7 @@ fn bench_verification(c: &mut Criterion) {
                     ppfts_core::verify_derived_execution(&Pairing, &initial, &events, &matching)
                         .unwrap();
                 (events.len(), matching.len(), derived.len())
-            })
+            });
         });
     }
 
@@ -60,7 +60,7 @@ fn bench_verification(c: &mut Criterion) {
                     ppfts_core::verify_derived_execution(&Pairing, &initial, &events, &matching)
                         .unwrap();
                 (events.len(), matching.len(), derived.len())
-            })
+            });
         });
     }
 

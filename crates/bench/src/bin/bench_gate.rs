@@ -8,6 +8,10 @@
 //! semantics; only benches present in *both* files are compared, so CI
 //! can measure a stable subset.
 //!
+//! The exit-code contract — **0** clean, **1** gating findings, **2**
+//! usage error — is shared with the `ppfts_analyze` static-analysis
+//! gate (`ppfts-analyze`), so CI treats both gates uniformly.
+//!
 //! ```text
 //! cargo run -p ppfts-bench --bin bench_gate -- \
 //!     --baseline BENCH_RESULTS.json --current bench_current.json [--tolerance 2.5]
@@ -39,7 +43,7 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .filter(|t| *t >= 1.0)
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
             }
             _ => usage(),
         }

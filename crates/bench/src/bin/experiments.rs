@@ -108,9 +108,8 @@ fn main() {
                 512,
             )
             .expect("attack builds");
-            let paired = match report.outcome {
-                AttackOutcome::SafetyViolated { paired, .. } => paired,
-                _ => panic!("expected violation"),
+            let AttackOutcome::SafetyViolated { paired, .. } = report.outcome else {
+                panic!("expected violation")
             };
             println!(
                 "{:>3} | {:>4} | {:>9} | {:>9} | {:>9} | safety violated (paper: ≥ t+1 = {})",
@@ -190,7 +189,7 @@ fn main() {
         for o in [0u32, 1, 2, 3] {
             for n in [4usize, 8] {
                 let peak = skno_peak_tokens(n, o, 50_000, 11);
-                println!("{:>3} | {:>5} | {:>12}", o, n, peak);
+                println!("{o:>3} | {n:>5} | {peak:>12}");
             }
         }
     }

@@ -199,7 +199,9 @@ pub fn measure_naming_phase(n: usize, seeds: u64, budget: u64) -> Convergence {
             BATCH,
             stably(
                 |c: &ppfts_population::Configuration<NamedState<PairingState>>| {
-                    c.as_slice().iter().all(|q| q.is_simulating())
+                    c.as_slice()
+                        .iter()
+                        .all(ppfts_core::NamedState::is_simulating)
                 },
                 1,
             ),
@@ -439,9 +441,7 @@ pub fn skno_peak_tokens(n: usize, o: u32, steps: u64, seed: u64) -> usize {
 
 /// Worker threads for seed fan-out.
 pub fn workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get().min(8))
-        .unwrap_or(2)
+    std::thread::available_parallelism().map_or(2, |p| p.get().min(8))
 }
 
 fn aggregate(n: usize, values: impl Iterator<Item = (RunOutcome, u64)>) -> Convergence {

@@ -69,7 +69,7 @@ where
     S: SimulatorState + State,
 {
     let mut events = Vec::new();
-    for record in trace.iter() {
+    for record in trace {
         push_if_committed(
             &mut events,
             record,

@@ -381,7 +381,7 @@ mod tests {
     }
 
     fn all_named(c: &Configuration<NamedState<char>>) -> bool {
-        c.as_slice().iter().all(|q| q.is_simulating())
+        c.as_slice().iter().all(super::NamedState::is_simulating)
     }
 
     #[test]
@@ -394,7 +394,7 @@ mod tests {
                 .config()
                 .as_slice()
                 .iter()
-                .map(|q| q.my_id())
+                .map(super::NamedState::my_id)
                 .collect();
             assert_eq!(
                 ids,
@@ -415,7 +415,7 @@ mod tests {
                 .config()
                 .as_slice()
                 .iter()
-                .map(|q| q.my_id())
+                .map(super::NamedState::my_id)
                 .collect();
             for &v in &ids {
                 reached.insert(v);

@@ -286,6 +286,37 @@ impl<Q: State> SknoState<Q> {
     pub fn token_footprint(&self) -> usize {
         self.sending.len() + self.owed.len()
     }
+
+    /// Builds a simulator state with an explicit queue — the entry point
+    /// for the static analyzer's bookkeeping probes, which drive the
+    /// reactor procedure from hand-crafted token configurations instead
+    /// of full executions.
+    pub fn with_queue(
+        site: u32,
+        sim: Q,
+        pending: bool,
+        tokens: impl IntoIterator<Item = Token<Q>>,
+    ) -> Self {
+        SknoState {
+            sim,
+            site,
+            pending,
+            sending: tokens.into_iter().collect(),
+            owed: Vec::new(),
+            commit: None,
+            commits: 0,
+        }
+    }
+
+    /// The tokens currently queued for sending, head first.
+    pub fn tokens(&self) -> impl Iterator<Item = &Token<Q>> {
+        self.sending.iter()
+    }
+
+    /// The token identities owed to the joker pool.
+    pub fn owed(&self) -> impl Iterator<Item = &Token<Q>> {
+        self.owed.iter()
+    }
 }
 
 /// The `SKnO` simulator: wraps a [`TwoWayProtocol`] into a
@@ -316,6 +347,7 @@ pub struct Skno<P> {
     bound: u32,
     bookkeeping: JokerBookkeeping,
     topology: Option<Arc<Topology>>,
+    addressed: bool,
 }
 
 /// How `SKnO` accounts for joker substitutions (DESIGN.md ablation D1).
@@ -342,6 +374,7 @@ impl<P: TwoWayProtocol> Skno<P> {
             bound: omission_bound,
             bookkeeping: JokerBookkeeping::Rummy,
             topology: None,
+            addressed: true,
         }
     }
 
@@ -357,6 +390,7 @@ impl<P: TwoWayProtocol> Skno<P> {
             bound: omission_bound,
             bookkeeping,
             topology: None,
+            addressed: true,
         }
     }
 
@@ -416,7 +450,36 @@ impl<P: TwoWayProtocol> Skno<P> {
             bound: omission_bound,
             bookkeeping: JokerBookkeeping::Rummy,
             topology: Some(Arc::new(topology)),
+            addressed: true,
         }
+    }
+
+    /// The **seeded mutant** of [`Skno::graphical`] with the addressing
+    /// guard removed: state-change runs still carry their `target`, but
+    /// *any* pending agent in the matching simulated state may complete
+    /// them, as in anonymous `SKnO`.
+    ///
+    /// This is the exact bug shape the addressed design exists to rule
+    /// out — an unaddressed change run can be absorbed by a different
+    /// pending neighbor of the consumer, starving the original announcer
+    /// forever (see [`Token::Change`]). The mutant exists solely so the
+    /// static analyzer's self-test can *rediscover* that deadlock; never
+    /// use it for measurements.
+    pub fn graphical_unaddressed(protocol: P, omission_bound: u32, topology: Topology) -> Self {
+        Skno {
+            protocol,
+            bound: omission_bound,
+            bookkeeping: JokerBookkeeping::Rummy,
+            topology: Some(Arc::new(topology)),
+            addressed: false,
+        }
+    }
+
+    /// Whether state-change runs are addressed back to the consumed
+    /// announcement's origin (always, except for the
+    /// [`graphical_unaddressed`](Skno::graphical_unaddressed) mutant).
+    pub fn addresses_change_runs(&self) -> bool {
+        self.addressed
     }
 
     /// The interaction graph this simulator is bound to, if graphical.
@@ -455,8 +518,10 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// the given `target` — exact match in graphical mode (the change
     /// run frees exactly the agent whose announcement was consumed),
     /// anyone in anonymous mode (the paper's state-matched consumption).
+    /// The [`graphical_unaddressed`](Skno::graphical_unaddressed) mutant
+    /// drops the check — the seeded deadlock the analyzer must catch.
     fn change_addressed(&self, target: u32, site: u32) -> bool {
-        !self.filtering() || target == site
+        !self.filtering() || !self.addressed || target == site
     }
 
     /// The joker-bookkeeping policy in force.

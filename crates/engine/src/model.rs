@@ -202,6 +202,17 @@ impl OneWayModel {
         !matches!(self, OneWayModel::It | OneWayModel::Io)
     }
 
+    /// The faults this model's transition relation contains — the one-way
+    /// sibling of [`TwoWayModel::permitted_faults`], used by the exhaustive
+    /// explorers to enumerate fault-decorated edges.
+    pub fn permitted_faults(self) -> &'static [OneWayFault] {
+        if self.allows_omissions() {
+            &[OneWayFault::None, OneWayFault::Omission]
+        } else {
+            &[OneWayFault::None]
+        }
+    }
+
     /// Whether the starter's proximity hook `g` is applied at all. Only IO
     /// forces `g` to the identity.
     pub fn starter_applies_g(self) -> bool {
@@ -349,7 +360,10 @@ mod tests {
 
     #[test]
     fn display_names_match_paper() {
-        let names: Vec<String> = Model::ALL.iter().map(|m| m.to_string()).collect();
+        let names: Vec<String> = Model::ALL
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(
             names,
             ["TW", "T1", "T2", "T3", "IT", "IO", "I1", "I2", "I3", "I4"]

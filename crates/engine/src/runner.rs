@@ -1398,7 +1398,7 @@ mod tests {
             .unwrap();
         traced.run(300).unwrap();
         let ring4 = Topology::ring(4).unwrap();
-        for rec in traced.trace().unwrap().iter() {
+        for rec in traced.trace().unwrap() {
             assert!(ring4.contains_arc(
                 rec.interaction.starter().index(),
                 rec.interaction.reactor().index()

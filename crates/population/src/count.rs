@@ -116,7 +116,7 @@ impl<Q: State> CountConfiguration<Q> {
 
     /// Number of agents currently in state `q`.
     pub fn count_state(&self, q: &Q) -> usize {
-        self.index.get(q).map(|&i| self.entries[i].1).unwrap_or(0)
+        self.index.get(q).map_or(0, |&i| self.entries[i].1)
     }
 
     /// Iterates over `(state, multiplicity)` pairs of the states present,

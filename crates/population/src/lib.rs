@@ -76,7 +76,9 @@ pub use error::PopulationError;
 pub use interaction::Interaction;
 pub use multiset::Multiset;
 pub use population::Population;
-pub use protocol::{DeltaRule, FunctionProtocol, SymmetryReport, TableProtocol, TwoWayProtocol};
+pub use protocol::{
+    delta_closure, DeltaRule, FunctionProtocol, SymmetryReport, TableProtocol, TwoWayProtocol,
+};
 pub use semantics::{unanimous_output, unanimous_output_counts, ConsensusOutput, Semantics};
 pub use state::{EnumerableStates, State};
 pub use topology::{

@@ -181,7 +181,7 @@ impl<Q: State> Hash for Multiset<Q> {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         use std::hash::Hasher;
         let mut acc: u64 = 0;
-        for (q, c) in self.counts.iter() {
+        for (q, c) in &self.counts {
             let mut h = std::collections::hash_map::DefaultHasher::new();
             q.hash(&mut h);
             c.hash(&mut h);

@@ -299,6 +299,64 @@ impl SymmetryReport {
     }
 }
 
+/// The δ-closure of a seed set: every state reachable by repeatedly
+/// applying `δ` to ordered pairs of already-reachable states.
+///
+/// This is the *population-level* reachable state space — a configuration
+/// whose agents all start in `seeds` can only ever contain states from the
+/// closure, whatever the scheduler does. The static analyzer uses it to
+/// flag declared-but-unreachable states and rules that can never fire.
+///
+/// The returned vector is deterministic: seeds first (in iteration order,
+/// duplicates elided), then newly discovered states in discovery order.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_population::{delta_closure, TableProtocol};
+///
+/// let table = TableProtocol::builder(vec!['a', 'b', 'x', 'z'])
+///     .rule(('a', 'b'), ('x', 'x'))
+///     .build();
+/// // 'z' is declared but no rule from {a, b} ever produces it.
+/// assert_eq!(delta_closure(&table, ['a', 'b']), vec!['a', 'b', 'x']);
+/// ```
+pub fn delta_closure<P: TwoWayProtocol>(
+    protocol: &P,
+    seeds: impl IntoIterator<Item = P::State>,
+) -> Vec<P::State> {
+    let mut reached: Vec<P::State> = Vec::new();
+    for q in seeds {
+        if !reached.contains(&q) {
+            reached.push(q);
+        }
+    }
+    // Fixpoint over ordered pairs of the current closure. The state space
+    // is finite for every protocol we analyze, so this terminates.
+    let mut scanned = 0usize;
+    while scanned < reached.len() {
+        let frontier_start = scanned;
+        scanned = reached.len();
+        let mut fresh: Vec<P::State> = Vec::new();
+        for i in 0..reached.len() {
+            for j in 0..reached.len() {
+                // Only pairs touching the new frontier can produce news.
+                if i < frontier_start && j < frontier_start {
+                    continue;
+                }
+                let (s2, r2) = protocol.delta(&reached[i], &reached[j]);
+                for q in [s2, r2] {
+                    if !reached.contains(&q) && !fresh.contains(&q) {
+                        fresh.push(q);
+                    }
+                }
+            }
+        }
+        reached.extend(fresh);
+    }
+    reached
+}
+
 /// A protocol defined by a pair of closures `(fs, fr)`.
 ///
 /// Convenient for one-off protocols in tests and examples without declaring

@@ -233,7 +233,7 @@ impl SemilinearProtocol {
                 });
             }
         }
-        let arity = atoms.first().map(Atom::arity).unwrap_or(0);
+        let arity = atoms.first().map_or(0, Atom::arity);
         for (index, atom) in atoms.iter().enumerate() {
             if atom.arity() != arity {
                 return Err(SemilinearError::ArityMismatch);

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use ppfts_engine::{outcome, OneWayFault, OneWayModel, OneWayProgram, TwoWayModel, TwoWayProgram};
+use ppfts_engine::{outcome, OneWayModel, OneWayProgram, TwoWayModel, TwoWayProgram};
 use ppfts_population::{Configuration, Multiset, State};
 
 /// Exploration failed.
@@ -341,11 +341,7 @@ pub fn explore_one_way<P>(
 where
     P: OneWayProgram,
 {
-    let faults: &[OneWayFault] = if model.allows_omissions() {
-        &[OneWayFault::None, OneWayFault::Omission]
-    } else {
-        &[OneWayFault::None]
-    };
+    let faults = model.permitted_faults();
     explore(c0, max_configs, |states| {
         let n = states.len();
         let mut out = Vec::new();

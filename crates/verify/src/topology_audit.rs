@@ -130,7 +130,7 @@ pub fn audit_trace_topology<Q: State, F>(
 ) -> Result<CoverageReport, TopologyViolation> {
     let mut hits = vec![0u64; topology.arc_count()];
     let mut draws = 0u64;
-    for rec in trace.iter() {
+    for rec in trace {
         let (s, r) = (
             rec.interaction.starter().index(),
             rec.interaction.reactor().index(),
@@ -242,7 +242,7 @@ where
     let mut draws = 0u64;
     let mut commits = 0u64;
     let mut located = 0u64;
-    for rec in trace.iter() {
+    for rec in trace {
         let (s, r) = (
             rec.interaction.starter().index(),
             rec.interaction.reactor().index(),

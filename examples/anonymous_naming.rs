@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --example anonymous_naming`
 
-use ppfts::core::{project, NamedSid};
+use ppfts::core::{project, NamedSid, NamedState};
 use ppfts::engine::{OneWayModel, OneWayRunner};
 use ppfts::protocols::{LeaderElection, LeaderState};
 
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Phase 1: watch the naming layer converge.
         let named = runner.run_until(20_000_000, |c| {
-            c.as_slice().iter().all(|q| q.is_simulating())
+            c.as_slice().iter().all(NamedState::is_simulating)
         });
         assert!(named.is_satisfied(), "naming must terminate (Lemma 3)");
         let naming_steps = named.steps();
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .config()
             .as_slice()
             .iter()
-            .map(|q| q.my_id())
+            .map(NamedState::my_id)
             .collect();
         ids.sort_unstable();
         assert_eq!(

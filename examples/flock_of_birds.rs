@@ -15,7 +15,7 @@
 //!
 //! Run with: `cargo run --example flock_of_birds`
 
-use ppfts::core::{project, Skno};
+use ppfts::core::{project, Skno, SknoState};
 use ppfts::engine::{BoundedStrategy, OneWayModel, OneWayRunner, RateStrategy};
 use ppfts::population::{unanimous_output, Semantics};
 use ppfts::protocols::FlockOfBirds;
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .config()
         .as_slice()
         .iter()
-        .map(|s| s.token_footprint())
+        .map(SknoState::token_footprint)
         .max()
         .unwrap_or(0);
     println!("largest per-bird token footprint: {max_tokens} tokens\n");

@@ -15,6 +15,7 @@
 //! | [`protocols`] | `ppfts-protocols` | Pairing, epidemic, majorities, flock-of-birds, remainder, max-gossip, leader election, semilinear compiler |
 //! | [`core`] | `ppfts-core` | the paper's simulators (`SKnO`, `SID`, `Nn`) and the simulation theory (events, matchings, derived executions, FTT) |
 //! | [`verify`] | `ppfts-verify` | Pairing audits, exact model checking, the impossibility attacks, ablations |
+//! | [`analyze`] | `ppfts-analyze` | static table lints, the exhaustive budgeted model checker, the `ppfts_analyze` gate suite |
 //!
 //! # Example
 //!
@@ -41,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ppfts_analyze as analyze;
 pub use ppfts_core as core;
 pub use ppfts_engine as engine;
 pub use ppfts_population as population;

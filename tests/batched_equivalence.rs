@@ -69,8 +69,8 @@ macro_rules! outcome_of {
 }
 
 fn assert_equiv<Q: ppfts::population::State + std::fmt::Debug>(
-    scalar: (Configuration<Q>, RunStats, u64),
-    batched: (Configuration<Q>, RunStats, u64),
+    scalar: &(Configuration<Q>, RunStats, u64),
+    batched: &(Configuration<Q>, RunStats, u64),
     label: &str,
 ) -> Result<(), proptest::test_runner::TestCaseError> {
     prop_assert_eq!(
@@ -104,7 +104,7 @@ proptest! {
             .unwrap();
         let scalar = outcome_of!(build(), steps, None);
         let batched = outcome_of!(build(), steps, Some(batch));
-        assert_equiv(scalar, batched, "one-way epidemic")?;
+        assert_equiv(&scalar, &batched, "one-way epidemic")?;
     }
 
     /// The SKnO simulator (heavy token-carrying states) under I3 with a
@@ -130,7 +130,7 @@ proptest! {
             .unwrap();
         let scalar = outcome_of!(build(), steps, None);
         let batched = outcome_of!(build(), steps, Some(batch));
-        assert_equiv(scalar, batched, "SKnO under I3")?;
+        assert_equiv(&scalar, &batched, "SKnO under I3")?;
     }
 
     /// The SID simulator under IO (fault-free one-way).
@@ -153,7 +153,7 @@ proptest! {
             .unwrap();
         let scalar = outcome_of!(build(), steps, None);
         let batched = outcome_of!(build(), steps, Some(batch));
-        assert_equiv(scalar, batched, "SID under IO")?;
+        assert_equiv(&scalar, &batched, "SID under IO")?;
     }
 
     /// Two-way protocols under every two-way model with a rate adversary
@@ -177,7 +177,7 @@ proptest! {
             .unwrap();
         let scalar = outcome_of!(build(), steps, None);
         let batched = outcome_of!(build(), steps, Some(batch));
-        assert_equiv(scalar, batched, "two-way Pairing")?;
+        assert_equiv(&scalar, &batched, "two-way Pairing")?;
     }
 
     /// Max-gossip (two-way, totals change every effective meeting) under
@@ -198,7 +198,7 @@ proptest! {
             .unwrap();
         let scalar = outcome_of!(build(), steps, None);
         let batched = outcome_of!(build(), steps, Some(batch));
-        assert_equiv(scalar, batched, "two-way max-gossip")?;
+        assert_equiv(&scalar, &batched, "two-way max-gossip")?;
     }
 
     /// Cross-path equivalence: a passive sink routes execution through
@@ -244,7 +244,7 @@ proptest! {
             r.run_batched(steps, batch).unwrap();
             (r.config().clone(), r.stats(), r.steps())
         };
-        assert_equiv(pure, in_place, "Skno pure vs in-place")?;
+        assert_equiv(&pure, &in_place, "Skno pure vs in-place")?;
     }
 
     /// `Sid`'s hand-written in-place handshake against the pure
@@ -282,7 +282,7 @@ proptest! {
             r.run_batched(steps, batch).unwrap();
             (r.config().clone(), r.stats(), r.steps())
         };
-        assert_equiv(pure, in_place, "Sid pure vs in-place")?;
+        assert_equiv(&pure, &in_place, "Sid pure vs in-place")?;
     }
 
     /// `NamedSid`'s in-place naming-plus-handshake against the pure
@@ -320,7 +320,7 @@ proptest! {
             r.run_batched(steps, batch).unwrap();
             (r.config().clone(), r.stats(), r.steps())
         };
-        assert_equiv(pure, in_place, "NamedSid pure vs in-place")?;
+        assert_equiv(&pure, &in_place, "NamedSid pure vs in-place")?;
     }
 
     /// Equivalence also holds for *recording* sinks: a batched run feeds
@@ -369,7 +369,7 @@ proptest! {
         };
         // The sampled sink's records are a subsequence of the full trace.
         let mut full = scalar.0.iter();
-        for rec in sampled.iter() {
+        for rec in &sampled {
             prop_assert!(
                 full.any(|r| r == rec),
                 "sampled record {:?} not in the full trace in order",

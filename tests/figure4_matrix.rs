@@ -36,18 +36,16 @@ fn no_assumptions(model: Model) -> Cell {
         Model::OneWay(OneWayModel::I3) | Model::OneWay(OneWayModel::I4) => {
             // Witness: Lemma 1 breaks SKnO once omissions exceed any
             // fixed budget — without knowledge assumptions nothing works.
-            let m = match model {
-                Model::OneWay(m) => m,
-                _ => unreachable!(),
+            let Model::OneWay(m) = model else {
+                unreachable!()
             };
             let report = lemma1_attack(m, Skno::new(Pairing, 1), SknoState::new, 128, 512).unwrap();
             assert!(report.violated_safety());
             Cell::Impossible
         }
         Model::OneWay(OneWayModel::I1) | Model::OneWay(OneWayModel::I2) => {
-            let m = match model {
-                Model::OneWay(m) => m,
-                _ => unreachable!(),
+            let Model::OneWay(m) = model else {
+                unreachable!()
             };
             // Dichotomy of Thm 3.2, both horns executable.
             let skno_stalls =
@@ -119,9 +117,8 @@ fn knowledge_of_omissions(model: Model) -> Cell {
 fn unique_ids(model: Model) -> Cell {
     match model {
         Model::OneWay(OneWayModel::Io) | Model::OneWay(OneWayModel::It) => {
-            let m = match model {
-                Model::OneWay(m) => m,
-                _ => unreachable!(),
+            let Model::OneWay(m) = model else {
+                unreachable!()
             };
             // SID is an IO program; running it under IT only adds the
             // (identity) proximity hook.
@@ -146,9 +143,8 @@ fn unique_ids(model: Model) -> Cell {
 fn knowledge_of_n(model: Model) -> Cell {
     match model {
         Model::OneWay(OneWayModel::Io) | Model::OneWay(OneWayModel::It) => {
-            let m = match model {
-                Model::OneWay(m) => m,
-                _ => unreachable!(),
+            let Model::OneWay(m) = model else {
+                unreachable!()
             };
             let sims = pairing_sims(2, 2);
             let mut runner = OneWayRunner::builder(m, NamedSid::new(Pairing, sims.len()))
