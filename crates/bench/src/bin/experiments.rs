@@ -1,4 +1,4 @@
-//! Runs the experiment suite (DESIGN.md E1–E13) and prints the
+//! Runs the experiment suite (DESIGN.md E1–E15) and prints the
 //! paper-claim-vs-measured tables recorded in EXPERIMENTS.md.
 //!
 //! Convergence measurements (E5, E7, E8) run on the engine's batched
@@ -13,9 +13,10 @@
 //! shrinks sizes, seeds and budgets to CI-smoke scale.
 
 use ppfts_bench::{
-    e13_families, measure_epidemic_giant, measure_epidemic_giant_dense, measure_epidemic_topology,
-    measure_named, measure_naming_phase, measure_sid, measure_sid_epidemic_graphical, measure_skno,
-    measure_skno_epidemic_graphical, skno_peak_tokens,
+    e13_families, measure_epidemic_epoch, measure_epidemic_giant, measure_epidemic_giant_dense,
+    measure_epidemic_topology, measure_named, measure_naming_phase, measure_sid,
+    measure_sid_epidemic_graphical, measure_skno, measure_skno_epidemic_graphical,
+    skno_peak_tokens,
 };
 use ppfts_core::{fastest_transition_time, Sid, SidState, Skno, SknoState};
 use ppfts_engine::hierarchy::{direct_inclusions, includes};
@@ -38,8 +39,8 @@ struct Selection {
 
 impl Selection {
     /// The experiment ids this binary knows.
-    const KNOWN: [&'static str; 13] = [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    const KNOWN: [&'static str; 14] = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e15",
     ];
 
     fn from_args() -> Self {
@@ -394,6 +395,42 @@ fn main() {
         println!(
             "(the committed n = 64…1024 grid incl. wall-clock: BENCH_RESULTS.json, \
              e13_graphical_ftt/*)"
+        );
+    }
+
+    if selection.wants("e15") {
+        header(
+            "E15",
+            "Batch-epoch epidemic sweep (n = 10²…10⁹, sub-ns per interaction)",
+        );
+        println!("epoch path (run_epochs_until — O(d²) per ≈0.63·√n-step epoch):");
+        println!(
+            "{:>7} | {:>11} | {:>12} | {:>10}",
+            "n", "converged", "mean steps", "per-agent"
+        );
+        let sizes: &[usize] = if selection.smoke {
+            &[1_000, 100_000]
+        } else {
+            &[
+                100,
+                1_000,
+                10_000,
+                100_000,
+                1_000_000,
+                10_000_000,
+                100_000_000,
+                1_000_000_000,
+            ]
+        };
+        for &n in sizes {
+            let budget = (n as u64).saturating_mul(400);
+            let c = measure_epidemic_epoch(n, if n <= 10_000 { seeds } else { 3 }, budget);
+            println!("{}", c.row());
+        }
+        println!(
+            "(wall-clock per seed across the sweep, plus the per-interaction \
+             interleaved↔epoch ratio at n = 10⁶: BENCH_RESULTS.json, e15_epoch/* \
+             and e11_giant/per_interaction_*)"
         );
     }
 

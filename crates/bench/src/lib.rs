@@ -264,6 +264,78 @@ where
     aggregate(n, results.into_iter().map(|s| s.value))
 }
 
+/// E15: epidemic convergence at giant `n` on the **batch-epoch** path —
+/// the same workload and predicate as [`measure_epidemic_giant`], driven
+/// through `run_epochs_until` instead of the interleaved loop. Epochs
+/// sample a collision-free prefix length ℓ ≈ 0.63√n in closed form and
+/// apply all ℓ interactions as one bulk multivariate draw, so the work
+/// per epoch is O(distinct state pairs), independent of ℓ — sub-constant
+/// time per interaction. The convergence predicate is checked at epoch
+/// boundaries under the same [`stably`] window as the interleaved
+/// harnesses.
+///
+/// `steps_per_simulated` normalizes by `n` (interactions per agent), the
+/// same unit E11 reports, so the two harnesses chart onto one curve.
+pub fn measure_epidemic_epoch(n: usize, seeds: u64, budget: u64) -> Convergence {
+    assert!(n >= 2, "population needs at least 2 agents");
+    let results = run_seeds(0..seeds, workers(), |seed| {
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, n - 1)]))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .build()
+            .expect("valid population");
+        let out = runner
+            .run_epochs_until(
+                budget,
+                stably(
+                    |c: &CountConfiguration<bool>| c.count_state(&true) == n,
+                    STABLE_WINDOW,
+                ),
+            )
+            .expect("fault-free count-backed runs are epoch compatible");
+        (out, n as u64)
+    });
+    aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// Executes exactly `steps` interactions of the fault-free epidemic at
+/// size `n` on the count backend through the **interleaved** batched
+/// loop, returning the infected count so the work cannot be elided.
+/// The fixed interaction budget makes wall-clock directly divisible:
+/// `elapsed / steps` is the per-interaction cost the
+/// `e11_giant/per_interaction_*` bench entries record.
+pub fn epidemic_fixed_steps_interleaved(n: usize, steps: u64, seed: u64) -> usize {
+    let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, Epidemic)
+        .population(CountConfiguration::from_groups([(true, 1), (false, n - 1)]))
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("valid population");
+    runner
+        .run_batched(steps, GIANT_BATCH)
+        .expect("fault-free epidemic cannot fail");
+    runner.config().count_state(&true)
+}
+
+/// The batch-epoch twin of [`epidemic_fixed_steps_interleaved`]: exactly
+/// `steps` interactions through `run_epochs`. The two functions run the
+/// same protocol from the same initial counts for the same interaction
+/// budget, so their wall-clock ratio is the epoch path's per-interaction
+/// speedup.
+pub fn epidemic_fixed_steps_epoch(n: usize, steps: u64, seed: u64) -> usize {
+    let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, Epidemic)
+        .population(CountConfiguration::from_groups([(true, 1), (false, n - 1)]))
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("valid population");
+    runner
+        .run_epochs(steps)
+        .expect("fault-free count-backed runs are epoch compatible");
+    runner.config().count_state(&true)
+}
+
 /// E12: epidemic broadcast on an explicit interaction topology — the
 /// graph-aware scenario of `ppfts_protocols::scenario`, run per seed to
 /// stable full infection through `run_batched_until` + [`stably`].
@@ -516,6 +588,31 @@ mod tests {
                 c.steps_per_simulated
             );
         }
+    }
+
+    #[test]
+    fn epoch_harness_agrees_with_interleaved_at_test_scale() {
+        let epoch = measure_epidemic_epoch(2_000, 2, 50_000_000);
+        assert_eq!(epoch.converged, 2);
+        let interleaved = measure_epidemic_giant(2_000, 2, 50_000_000);
+        // Same Θ(n log n) dynamics: per-agent step counts land within the
+        // same decade on both execution paths.
+        for c in [&epoch, &interleaved] {
+            assert!(
+                c.steps_per_simulated > 2.0 && c.steps_per_simulated < 60.0,
+                "steps per agent = {}",
+                c.steps_per_simulated
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_step_routines_spread_the_epidemic_on_both_paths() {
+        let interleaved = epidemic_fixed_steps_interleaved(1_000, 20_000, 3);
+        let epoch = epidemic_fixed_steps_epoch(1_000, 20_000, 3);
+        // 20 interactions per agent more than saturates n = 1000.
+        assert_eq!(interleaved, 1_000);
+        assert_eq!(epoch, 1_000);
     }
 
     #[test]

@@ -45,6 +45,20 @@ pub trait OmissionStrategy {
     fn budget(&self) -> Option<u64> {
         None
     }
+
+    /// The fixed i.i.d. per-interaction omission probability this strategy
+    /// realizes, if it is expressible as one (`None` otherwise).
+    ///
+    /// The batch-epoch path ([`run_epochs`](crate::OneWayRunner::run_epochs))
+    /// applies many interactions at once, so it cannot consult
+    /// [`decide`](Self::decide) per interaction; instead it thins each bulk
+    /// pair-group binomially at this rate. Strategies whose decisions depend
+    /// on the step index or on history (horizons, budgets, bursts, scripts)
+    /// return `None` and are rejected by the epoch path with
+    /// [`EngineError::EpochIncompatible`](crate::EngineError::EpochIncompatible).
+    fn iid_rate(&self) -> Option<f64> {
+        None
+    }
 }
 
 impl<A: OmissionStrategy + ?Sized> OmissionStrategy for &mut A {
@@ -56,6 +70,9 @@ impl<A: OmissionStrategy + ?Sized> OmissionStrategy for &mut A {
     }
     fn budget(&self) -> Option<u64> {
         (**self).budget()
+    }
+    fn iid_rate(&self) -> Option<f64> {
+        (**self).iid_rate()
     }
 }
 
@@ -76,6 +93,9 @@ impl OmissionStrategy for NoOmissions {
     }
     fn budget(&self) -> Option<u64> {
         Some(0)
+    }
+    fn iid_rate(&self) -> Option<f64> {
+        Some(0.0)
     }
 }
 
@@ -126,6 +146,9 @@ impl OmissionStrategy for RateStrategy {
     }
     fn injected(&self) -> u64 {
         self.injected
+    }
+    fn iid_rate(&self) -> Option<f64> {
+        Some(self.rate)
     }
 }
 
@@ -508,6 +531,26 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rate_must_be_probability() {
         let _ = RateStrategy::new(1.5);
+    }
+
+    #[test]
+    fn iid_rates_identify_epoch_compatible_strategies() {
+        assert_eq!(NoOmissions.iid_rate(), Some(0.0));
+        assert_eq!(RateStrategy::new(0.25).iid_rate(), Some(0.25));
+        // History- and step-dependent strategies are not i.i.d.
+        assert_eq!(HorizonStrategy::new(0.5, 10).iid_rate(), None);
+        assert_eq!(BoundedStrategy::new(0.5, 3).iid_rate(), None);
+        assert_eq!(AtMostOneStrategy::at_step(1).iid_rate(), None);
+        assert_eq!(BurstStrategy::new(0.1, 0.5).iid_rate(), None);
+        assert_eq!(ScriptedOmissions::new([2]).iid_rate(), None);
+        // The blanket &mut impl forwards: passing `&mut adv` by value
+        // makes `A = &mut RateStrategy`, the impl under test.
+        #[allow(clippy::needless_pass_by_value)]
+        fn rate_of<A: OmissionStrategy>(adv: A) -> Option<f64> {
+            adv.iid_rate()
+        }
+        let mut adv = RateStrategy::new(0.75);
+        assert_eq!(rate_of(&mut adv), Some(0.75));
     }
 
     #[test]

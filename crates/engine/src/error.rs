@@ -62,6 +62,17 @@ pub enum EngineError {
         /// The law the rejected scheduler deals from.
         law: InteractionLaw,
     },
+    /// The batch-epoch path ([`run_epochs`](crate::OneWayRunner::run_epochs))
+    /// was asked to honor a feature it cannot express: epochs apply whole
+    /// pair-groups at once, so omission adversaries must be reducible to a
+    /// fixed i.i.d. rate
+    /// ([`OmissionStrategy::iid_rate`](crate::OmissionStrategy::iid_rate)).
+    /// Step-indexed, budgeted, or scripted fault schedules need the
+    /// interleaved path (`run`/`run_batched`).
+    EpochIncompatible {
+        /// The feature the epoch path cannot honor.
+        feature: &'static str,
+    },
     /// A topology-bound scheduler was assembled with a population of a
     /// different size than its interaction graph.
     TopologySizeMismatch {
@@ -113,6 +124,13 @@ impl fmt::Display for EngineError {
                     "count-based populations realize the interaction distribution from \
                      state counts, which is only possible for the uniform complete-graph \
                      law; got a scheduler dealing the {law} law — use the dense backend"
+                )
+            }
+            EngineError::EpochIncompatible { feature } => {
+                write!(
+                    f,
+                    "the batch-epoch path cannot honor {feature}; use the \
+                     interleaved path (`run`/`run_batched`) instead"
                 )
             }
             EngineError::TopologySizeMismatch {
@@ -183,6 +201,12 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains('8') && msg.contains('6'));
+        let e = EngineError::EpochIncompatible {
+            feature: "step-indexed omission schedules",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("step-indexed omission schedules"));
+        assert!(msg.contains("interleaved"));
     }
 
     #[test]

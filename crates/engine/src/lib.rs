@@ -37,6 +37,9 @@
 //!   [`CountConfiguration`](ppfts_population::CountConfiguration)
 //!   (state multiplicities only — anonymous protocols at n = 10⁶ and
 //!   beyond on the batched `StatsOnly` path),
+//! * [`epoch`] — the batch-epoch execution path (`run_epochs`):
+//!   collision-free epochs sampled in bulk on [`EpochBackend`]s,
+//!   sub-constant work per interaction for count-backed runs,
 //! * [`TraceSink`] with [`FullTrace`], [`SampledTrace`], [`StatsOnly`] —
 //!   what, if anything, each executed step leaves behind,
 //! * [`convergence`] — exact silence checks and the quiescence-aware
@@ -76,6 +79,7 @@ mod backend;
 mod batch;
 pub mod convergence;
 mod embed;
+pub mod epoch;
 mod error;
 pub mod hierarchy;
 mod model;
@@ -94,6 +98,7 @@ pub use adversary::{
 pub use backend::ExecBackend;
 pub use batch::{run_seeds, SeedSummary};
 pub use embed::EmbedOneWay;
+pub use epoch::EpochBackend;
 pub use error::EngineError;
 pub use model::{Model, OneWayFault, OneWayModel, TwoWayFault, TwoWayModel};
 pub use program::{validate_io_program, OneWayProgram, TwoWayProgram};

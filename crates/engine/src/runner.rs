@@ -138,6 +138,7 @@ macro_rules! runner_impl {
         compute: |$model_:ident, $program_:ident, $fault_:ident, $s:ident, $r:ident| $compute:expr,
         fast: |$fmodel:ident, $fprogram:ident, $ffault:ident, $fs:ident, $fr:ident| $fast:expr,
         decide: |$dself:ident, $didx:ident| $decide:expr,
+        mix: |$mmodel:ident, $mpolicy:ident, $mrate:ident| $mix:expr,
     ) => {
         $(#[$doc])*
         pub struct $Runner<
@@ -609,6 +610,145 @@ macro_rules! runner_impl {
                 }
                 Ok(())
             }
+
+            /// Runs `steps` interactions through the *batch-epoch* path:
+            /// instead of drawing ordered pairs one at a time, whole
+            /// collision-free epochs (expected length ≈ 0.63·√n under the
+            /// uniform scheduler) are sampled as bulk hypergeometric
+            /// state splits and applied once per (starter-state,
+            /// reactor-state, fault) group — O(d²) work per epoch for `d`
+            /// distinct states, i.e. *sub-constant* work per interaction
+            /// once n ≫ d⁴. See the [`epoch`](crate::epoch) module docs
+            /// for the sampling scheme.
+            ///
+            /// The epoch path reproduces the interleaved path's law
+            /// *distributionally* (the same uniform-pair, i.i.d.-fault
+            /// process — certified by the `backend_equivalence`
+            /// distribution-agreement contracts) but not bit-for-bit: it
+            /// consumes the RNG differently, so same-seed runs diverge
+            /// from [`run`](Self::run). Omission faults are thinned
+            /// binomially per bulk group at the adversary's
+            /// [`OmissionStrategy::iid_rate`]; bulk thinning bypasses
+            /// [`OmissionStrategy::decide`], so
+            /// [`OmissionStrategy::injected`] stays at zero — audit
+            /// [`RunStats::omissive_steps`] instead.
+            ///
+            /// Only state-addressed backends implement
+            /// [`EpochBackend`](crate::EpochBackend), so this method
+            /// exists only on count-backed runners: per-agent features
+            /// (dense backends, recording sinks, restricted topologies)
+            /// are ruled out at compile time or already rejected by the
+            /// builder.
+            ///
+            /// # Errors
+            ///
+            /// [`EngineError::EpochIncompatible`] if the model is
+            /// omissive and the adversary has no fixed i.i.d. rate
+            /// (step-indexed, budgeted, burst, or scripted schedules);
+            /// fault-relation violations as in [`run`](Self::run). On
+            /// error the configuration is left at the last completed
+            /// epoch boundary.
+            pub fn run_epochs(&mut self, steps: u64) -> Result<(), EngineError>
+            where
+                C: crate::epoch::EpochBackend,
+            {
+                self.run_epochs_inner(steps, |_| false).map(|_| ())
+            }
+
+            /// Runs through the batch-epoch path until `predicate` holds
+            /// on the configuration — checked before the first epoch and
+            /// then at epoch boundaries, i.e. every ≈ 0.63·√n
+            /// interactions — or `max_steps` further interactions have
+            /// executed. The epoch in flight when the budget runs out is
+            /// truncated exactly at the budget (still the exact law), so
+            /// [`steps`](Self::steps) never overshoots.
+            ///
+            /// # Errors
+            ///
+            /// Same conditions as [`run_epochs`](Self::run_epochs).
+            pub fn run_epochs_until(
+                &mut self,
+                max_steps: u64,
+                mut predicate: impl FnMut(&C) -> bool,
+            ) -> Result<RunOutcome, EngineError>
+            where
+                C: crate::epoch::EpochBackend,
+            {
+                if predicate(&self.config) {
+                    return Ok(RunOutcome::Satisfied {
+                        steps: self.next_index,
+                    });
+                }
+                let satisfied = self.run_epochs_inner(max_steps, predicate)?;
+                Ok(if satisfied {
+                    RunOutcome::Satisfied {
+                        steps: self.next_index,
+                    }
+                } else {
+                    RunOutcome::Exhausted {
+                        steps: self.next_index,
+                    }
+                })
+            }
+
+            /// The i.i.d. per-interaction fault distribution the epoch
+            /// path thins bulk groups with (fault-free entry included;
+            /// weights sum to 1).
+            fn epoch_fault_mix(&self) -> Result<Vec<($Fault, f64)>, EngineError> {
+                let rate = if self.model.allows_omissions() {
+                    self.adversary
+                        .iid_rate()
+                        .ok_or(EngineError::EpochIncompatible {
+                            feature: "omission adversaries without a fixed i.i.d. rate \
+                                      (step-indexed, budgeted, burst, or scripted schedules)",
+                        })?
+                } else {
+                    0.0
+                };
+                let $mmodel = self.model;
+                let $mpolicy = self.side_policy;
+                let $mrate = rate;
+                Ok($mix)
+            }
+
+            fn run_epochs_inner(
+                &mut self,
+                budget: u64,
+                boundary: impl FnMut(&C) -> bool,
+            ) -> Result<bool, EngineError>
+            where
+                C: crate::epoch::EpochBackend,
+            {
+                let mix = self.epoch_fault_mix()?;
+                let $Runner {
+                    model,
+                    program,
+                    config,
+                    rng,
+                    next_index,
+                    stats,
+                    ..
+                } = self;
+                let model = *model;
+                crate::epoch::run_epochs_driver(
+                    config,
+                    rng,
+                    stats,
+                    next_index,
+                    budget,
+                    &mix,
+                    |$s: &<P as $Program>::State,
+                     $r: &<P as $Program>::State,
+                     fault: $Fault| {
+                        let $model_ = model;
+                        let $program_ = &*program;
+                        let $fault_ = fault;
+                        $compute
+                    },
+                    |f: &$Fault| is_omissive(f),
+                    boundary,
+                )
+            }
         }
 
         /// Builder for the runner; see `builder` on the runner type.
@@ -910,6 +1050,19 @@ runner_impl! {
             OneWayFault::None
         }
     },
+    mix: |model, policy, rate| {
+        // One-way models have a single omissive fault; the side policy
+        // plays no role.
+        let _ = (model, policy);
+        if rate > 0.0 {
+            vec![
+                (OneWayFault::None, 1.0 - rate),
+                (OneWayFault::Omission, rate),
+            ]
+        } else {
+            vec![(OneWayFault::None, 1.0)]
+        }
+    },
 }
 
 runner_impl! {
@@ -932,6 +1085,32 @@ runner_impl! {
             this.side_policy.pick(this.model, &mut this.rng)
         } else {
             TwoWayFault::None
+        }
+    },
+    mix: |model, policy, rate| {
+        // The scalar path draws decide() then SidePolicy::pick() per
+        // step; with an i.i.d. adversary that is exactly this fixed
+        // categorical mix.
+        if rate > 0.0 {
+            match policy {
+                SidePolicy::Always(f) => {
+                    vec![(TwoWayFault::None, 1.0 - rate), (f, rate)]
+                }
+                SidePolicy::Uniform => {
+                    let omissive: Vec<TwoWayFault> = model
+                        .permitted_faults()
+                        .iter()
+                        .copied()
+                        .filter(|f| f.is_omissive())
+                        .collect();
+                    let share = rate / omissive.len() as f64;
+                    let mut mix = vec![(TwoWayFault::None, 1.0 - rate)];
+                    mix.extend(omissive.into_iter().map(|f| (f, share)));
+                    mix
+                }
+            }
+        } else {
+            vec![(TwoWayFault::None, 1.0)]
         }
     },
 }
@@ -1523,5 +1702,164 @@ mod tests {
         assert!(runner.take_trace().is_none());
         assert_eq!(runner.sink(), &StatsOnly);
         assert_eq!(runner.stats().steps, 5);
+    }
+
+    #[test]
+    fn run_epochs_converges_the_epidemic_on_counts() {
+        use ppfts_population::CountConfiguration;
+        let n = 10_000;
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, n - 1)]))
+            .seed(17)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner
+            .run_epochs_until(
+                100_000_000,
+                crate::convergence::stably(
+                    |c: &CountConfiguration<bool>| c.count_state(&true) == n,
+                    2,
+                ),
+            )
+            .unwrap();
+        assert!(out.is_satisfied());
+        assert_eq!(runner.config().len(), n);
+        assert_eq!(runner.config().count_state(&true), n);
+        assert_eq!(runner.stats().steps, out.steps());
+    }
+
+    #[test]
+    fn run_epochs_budget_is_exact_and_conserves_protocol_invariants() {
+        use ppfts_population::CountConfiguration;
+        let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, pairing())
+            .population(CountConfiguration::from_groups([('c', 400), ('p', 600)]))
+            .seed(5)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        runner.run_epochs(12_345).unwrap();
+        assert_eq!(runner.steps(), 12_345);
+        assert_eq!(runner.stats().steps, 12_345);
+        let c = runner.config();
+        assert_eq!(c.len(), 1000);
+        // Pairing conservation: every 's' is matched by one '_'.
+        assert_eq!(c.count_state(&'s'), c.count_state(&'_'));
+        // 'c' agents only ever become 's'; 'p' only '_'.
+        assert_eq!(c.count_state(&'c') + c.count_state(&'s'), 400);
+        assert_eq!(c.count_state(&'p') + c.count_state(&'_'), 600);
+    }
+
+    #[test]
+    fn run_epochs_thins_omissions_at_the_adversary_rate() {
+        use ppfts_population::CountConfiguration;
+        let n = 20_000;
+        let mut runner = OneWayRunner::builder(OneWayModel::I3, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, n - 1)]))
+            .adversary(RateStrategy::new(0.2))
+            .seed(29)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner
+            .run_epochs_until(100_000_000, |c: &CountConfiguration<bool>| {
+                c.count_state(&true) == n
+            })
+            .unwrap();
+        assert!(out.is_satisfied(), "omissions only delay the epidemic");
+        let frac = runner.stats().omission_fraction();
+        assert!(
+            (frac - 0.2).abs() < 0.02,
+            "omissive fraction {frac} far from the 0.2 rate"
+        );
+        // Bulk thinning bypasses decide(): the audit lives in RunStats.
+        assert_eq!(runner.adversary().injected(), 0);
+    }
+
+    #[test]
+    fn run_epochs_splits_two_way_omissions_across_sides() {
+        use ppfts_population::CountConfiguration;
+        // Under T3 + Uniform the mix spreads the rate over
+        // starter/reactor/both omissions; the run stays consistent and
+        // records the full rate.
+        let mut runner = TwoWayRunner::builder(TwoWayModel::T3, pairing())
+            .population(CountConfiguration::from_groups([('c', 500), ('p', 500)]))
+            .adversary(RateStrategy::new(0.5))
+            .side_policy(SidePolicy::Uniform)
+            .seed(31)
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        runner.run_epochs(100_000).unwrap();
+        let frac = runner.stats().omission_fraction();
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "omissive fraction {frac} far from the 0.5 rate"
+        );
+        assert_eq!(runner.config().len(), 1000);
+    }
+
+    #[test]
+    fn run_epochs_rejects_non_iid_adversaries_with_a_typed_error() {
+        use ppfts_population::CountConfiguration;
+        let mut runner = OneWayRunner::builder(OneWayModel::I3, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, 9)]))
+            .adversary(AtMostOneStrategy::at_step(3))
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let err = runner.run_epochs(1_000).unwrap_err();
+        assert!(matches!(err, EngineError::EpochIncompatible { .. }));
+        // Nothing ran: the rejection happens before the first epoch.
+        assert_eq!(runner.steps(), 0);
+        assert_eq!(runner.config().count_state(&true), 1);
+    }
+
+    #[test]
+    fn run_epochs_accepts_any_adversary_under_fault_free_models() {
+        use ppfts_population::CountConfiguration;
+        // Io has no omissions in its relation, so the (non-i.i.d.)
+        // adversary is never consulted and the epoch path runs.
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, 9)]))
+            .adversary(AtMostOneStrategy::at_step(3))
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        runner.run_epochs(1_000).unwrap();
+        assert_eq!(runner.steps(), 1_000);
+        assert_eq!(runner.stats().omissive_steps, 0);
+    }
+
+    #[test]
+    fn run_epochs_surfaces_fault_relation_violations() {
+        use ppfts_population::CountConfiguration;
+        // T1 permits single-sided omissions only; forcing Both must fail
+        // exactly as it does on the interleaved path.
+        let mut runner = TwoWayRunner::builder(TwoWayModel::T1, pairing())
+            .population(CountConfiguration::from_groups([('c', 50), ('p', 50)]))
+            .adversary(RateStrategy::new(1.0))
+            .side_policy(SidePolicy::Always(TwoWayFault::Both))
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let err = runner.run_epochs(1_000).unwrap_err();
+        assert!(matches!(err, EngineError::FaultNotInRelation { .. }));
+    }
+
+    #[test]
+    fn run_epochs_until_checks_the_predicate_before_the_first_epoch() {
+        use ppfts_population::CountConfiguration;
+        let mut runner = OneWayRunner::builder(OneWayModel::Io, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 10)]))
+            .trace_sink(StatsOnly)
+            .build()
+            .unwrap();
+        let out = runner
+            .run_epochs_until(1_000, |c: &CountConfiguration<bool>| {
+                c.count_state(&true) == 10
+            })
+            .unwrap();
+        assert_eq!(out, RunOutcome::Satisfied { steps: 0 });
     }
 }

@@ -32,12 +32,22 @@ pub struct RunStats {
 impl RunStats {
     /// Records one executed interaction.
     pub fn record(&mut self, omissive: bool, changed: bool) {
-        self.steps += 1;
-        self.omissive_steps += omissive as u64;
+        self.record_bulk(omissive, changed, 1);
+    }
+
+    /// Records `count` executed interactions that share one fault decoration
+    /// and one outcome shape — the unit of accounting of the batch-epoch
+    /// path, which applies a whole (starter-state, reactor-state, fault)
+    /// group at once.
+    pub fn record_bulk(&mut self, omissive: bool, changed: bool, count: u64) {
+        self.steps += count;
+        if omissive {
+            self.omissive_steps += count;
+        }
         if changed {
-            self.changed_steps += 1;
+            self.changed_steps += count;
         } else {
-            self.noop_steps += 1;
+            self.noop_steps += count;
         }
     }
 

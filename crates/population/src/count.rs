@@ -22,8 +22,13 @@ use crate::{DenseConfiguration, Multiset, Population, PopulationError, State};
 /// scheduler realizes — starter state with probability `count(q)/n`,
 /// reactor state with the starter's copy removed.
 ///
-/// Entries are kept in first-insertion order, so runs are deterministic
-/// given a seed (no hash-map iteration order in the sampling path).
+/// Entries are kept in first-insertion order and a *live index* tracks
+/// the slots with non-zero multiplicity, so [`sample_pair`] scans only
+/// the states actually present (states that die out stop costing scan
+/// time) and the total ordered-pair weight `n·(n−1)` is maintained
+/// incrementally instead of being recomputed per draw. Runs stay
+/// deterministic given a seed (no hash-map iteration order in the
+/// sampling path).
 ///
 /// [`sample_pair`]: CountConfiguration::sample_pair
 ///
@@ -44,13 +49,24 @@ use crate::{DenseConfiguration, Multiset, Population, PopulationError, State};
 #[derive(Clone)]
 pub struct CountConfiguration<Q: State> {
     /// `(state, multiplicity)` in first-insertion order; multiplicities
-    /// may be zero (states that died out keep their slot so the sampling
-    /// order stays stable).
+    /// may be zero (states that died out keep their slot so `index`
+    /// stays valid and revivals reuse it).
     entries: Vec<(Q, usize)>,
     /// State → position in `entries`.
     index: HashMap<Q, usize>,
+    /// Positions into `entries` of the slots with non-zero multiplicity —
+    /// the only slots the sampling scan visits. Maintained by swap-remove
+    /// on death and push on revival, so membership is O(1) to update.
+    live: Vec<usize>,
+    /// `entries` position → position in `live`, or `usize::MAX` for dead
+    /// slots.
+    live_pos: Vec<usize>,
     /// Total number of agents (sum of multiplicities).
     n: usize,
+    /// Cached total ordered-pair weight `n·(n−1)` as a float, updated
+    /// whenever `n` changes so samplers never recompute (or re-cast) it
+    /// per draw.
+    pair_weight: f64,
 }
 
 impl<Q: State> CountConfiguration<Q> {
@@ -59,7 +75,10 @@ impl<Q: State> CountConfiguration<Q> {
         CountConfiguration {
             entries: Vec::new(),
             index: HashMap::new(),
+            live: Vec::new(),
+            live_pos: Vec::new(),
             n: 0,
+            pair_weight: 0.0,
         }
     }
 
@@ -111,7 +130,16 @@ impl<Q: State> CountConfiguration<Q> {
 
     /// Number of *distinct* states currently present.
     pub fn distinct(&self) -> usize {
-        self.entries.iter().filter(|(_, c)| *c > 0).count()
+        self.live.len()
+    }
+
+    /// The total ordered-pair weight `n·(n−1)` — how many ordered
+    /// (starter, reactor) pairs of distinct agents exist. Maintained
+    /// incrementally by every mutation that changes `n` (in particular
+    /// kept exact across [`apply_outcome`](Self::apply_outcome), which
+    /// preserves `n`), so samplers read it instead of recomputing.
+    pub fn ordered_pair_weight(&self) -> f64 {
+        self.pair_weight
     }
 
     /// Number of agents currently in state `q`.
@@ -140,11 +168,88 @@ impl<Q: State> CountConfiguration<Q> {
     /// Adds `k` agents in state `q`.
     pub fn insert_many(&mut self, q: Q, k: usize) {
         self.n += k;
-        match self.index.get(&q) {
-            Some(&i) => self.entries[i].1 += k,
+        let i = match self.index.get(&q) {
+            Some(&i) => {
+                self.entries[i].1 += k;
+                i
+            }
             None => {
-                self.index.insert(q.clone(), self.entries.len());
+                let i = self.entries.len();
+                self.index.insert(q.clone(), i);
                 self.entries.push((q, k));
+                self.live_pos.push(usize::MAX);
+                i
+            }
+        };
+        if self.entries[i].1 > 0 && self.live_pos[i] == usize::MAX {
+            self.live_pos[i] = self.live.len();
+            self.live.push(i);
+        }
+        self.refresh_pair_weight();
+    }
+
+    /// Removes `k` agents in state `q` at once — the bulk counterpart of
+    /// the interaction-level removal, used by the epoch sampler to pull a
+    /// whole epoch's agents out of the population in O(1) per state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::StateUnderflow`] if fewer than `k`
+    /// agents hold state `q`; the counts are left untouched.
+    pub fn remove_many(&mut self, q: &Q, k: usize) -> Result<(), PopulationError> {
+        if k == 0 {
+            return Ok(());
+        }
+        let available = self.count_state(q);
+        if available < k {
+            return Err(PopulationError::StateUnderflow {
+                state: format!("{q:?}"),
+                needed: k,
+                available,
+            });
+        }
+        let i = self.index[q];
+        self.entries[i].1 -= k;
+        self.n -= k;
+        self.retire_if_dead(i);
+        self.refresh_pair_weight();
+        Ok(())
+    }
+
+    /// Bulk writeback for epoch-style samplers: overwrites the
+    /// multiplicity of every state currently present — `new_counts`
+    /// yields one count per live state, in [`iter`](Self::iter) order —
+    /// then inserts the `extras` groups (states that may not be present
+    /// yet). The aligned pass touches no hash lookups, which is what
+    /// keeps an epoch commit O(distinct states) with a small constant;
+    /// only `extras` (new states, rare) pay the indexed insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_counts` does not yield exactly one count per live
+    /// state.
+    pub fn set_live_counts<I, E>(&mut self, new_counts: I, extras: E)
+    where
+        I: IntoIterator<Item = usize>,
+        E: IntoIterator<Item = (Q, usize)>,
+    {
+        let mut it = new_counts.into_iter();
+        let mut n = 0usize;
+        for pos in 0..self.entries.len() {
+            if self.entries[pos].1 == 0 {
+                continue;
+            }
+            let c = it.next().expect("one count per live state");
+            self.entries[pos].1 = c;
+            n += c;
+            self.retire_if_dead(pos);
+        }
+        assert!(it.next().is_none(), "one count per live state");
+        self.n = n;
+        self.refresh_pair_weight();
+        for (q, k) in extras {
+            if k > 0 {
+                self.insert_many(q, k);
             }
         }
     }
@@ -155,6 +260,8 @@ impl<Q: State> CountConfiguration<Q> {
             Some(&i) if self.entries[i].1 > 0 => {
                 self.entries[i].1 -= 1;
                 self.n -= 1;
+                self.retire_if_dead(i);
+                self.refresh_pair_weight();
                 Ok(())
             }
             _ => Err(PopulationError::StateUnderflow {
@@ -163,6 +270,25 @@ impl<Q: State> CountConfiguration<Q> {
                 available: 0,
             }),
         }
+    }
+
+    /// Drops entry `i` from the live index if its count reached zero
+    /// (swap-remove, so death is O(1)).
+    fn retire_if_dead(&mut self, i: usize) {
+        if self.entries[i].1 == 0 {
+            let pos = self.live_pos[i];
+            let last = self.live.pop().expect("live index missing a live entry");
+            if last != i {
+                self.live[pos] = last;
+                self.live_pos[last] = pos;
+            }
+            self.live_pos[i] = usize::MAX;
+        }
+    }
+
+    /// Re-derives the cached ordered-pair weight after `n` changed.
+    fn refresh_pair_weight(&mut self) {
+        self.pair_weight = self.n as f64 * self.n.saturating_sub(1) as f64;
     }
 
     /// Applies one interaction outcome at the count level: one agent in
@@ -219,10 +345,13 @@ impl<Q: State> CountConfiguration<Q> {
         (s.clone(), r.clone())
     }
 
-    /// The state of the `k`-th agent in the canonical (entry-order)
-    /// enumeration, with one copy of `excluded` removed if given.
+    /// The state of the `k`-th agent in the canonical (live-index-order)
+    /// enumeration, with one copy of `excluded` removed if given. Only
+    /// live slots are scanned, so the cost is O(distinct states present),
+    /// not O(states ever seen).
     fn state_at(&self, mut k: usize, excluded: Option<&Q>) -> &Q {
-        for (q, c) in &self.entries {
+        for &i in &self.live {
+            let (q, c) = &self.entries[i];
             let c = *c - usize::from(excluded == Some(q));
             if k < c {
                 return q;
@@ -314,6 +443,35 @@ mod tests {
     }
 
     #[test]
+    fn set_live_counts_overwrites_in_iter_order() {
+        let mut c = CountConfiguration::from_groups([('a', 3), ('b', 2), ('d', 1)]);
+        // Kill 'b', grow 'a', shrink 'd', and introduce 'e' as an extra.
+        c.set_live_counts([5, 0, 1], [('e', 4)]);
+        assert_eq!(c.count_state(&'a'), 5);
+        assert_eq!(c.count_state(&'b'), 0);
+        assert_eq!(c.count_state(&'d'), 1);
+        assert_eq!(c.count_state(&'e'), 4);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.distinct(), 3);
+        assert_eq!(c.ordered_pair_weight(), 90.0);
+        // The dead slot revives through the extras path.
+        c.set_live_counts([1, 1, 1], [('b', 7)]);
+        assert_eq!(c.count_state(&'b'), 7);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.distinct(), 4);
+        // Round-trip: the revived configuration equals a fresh build.
+        let want = CountConfiguration::from_groups([('a', 1), ('d', 1), ('e', 1), ('b', 7)]);
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per live state")]
+    fn set_live_counts_rejects_misaligned_lengths() {
+        let mut c = CountConfiguration::from_groups([('a', 1), ('b', 1)]);
+        c.set_live_counts([2], std::iter::empty());
+    }
+
+    #[test]
     fn apply_outcome_moves_counts() {
         let mut c = CountConfiguration::from_groups([('c', 2), ('p', 2)]);
         c.apply_outcome(&'c', &'p', ('s', '_')).unwrap();
@@ -395,6 +553,65 @@ mod tests {
         let c = CountConfiguration::uniform('q', 1);
         let mut rng = SmallRng::seed_from_u64(0);
         let _ = c.sample_pair(&mut rng);
+    }
+
+    #[test]
+    fn remove_many_is_atomic_and_updates_counts() {
+        let mut c = CountConfiguration::from_groups([('a', 5), ('b', 2)]);
+        c.remove_many(&'a', 3).unwrap();
+        assert_eq!(c.count_state(&'a'), 2);
+        assert_eq!(c.len(), 4);
+        let err = c.remove_many(&'b', 3).unwrap_err();
+        assert!(matches!(
+            err,
+            PopulationError::StateUnderflow {
+                needed: 3,
+                available: 2,
+                ..
+            }
+        ));
+        assert_eq!(c.count_state(&'b'), 2);
+        assert!(c.remove_many(&'z', 0).is_ok());
+        assert!(c.remove_many(&'z', 1).is_err());
+    }
+
+    #[test]
+    fn live_index_tracks_deaths_and_revivals() {
+        let mut c = CountConfiguration::from_groups([('a', 2), ('b', 1), ('c', 3)]);
+        assert_eq!(c.distinct(), 3);
+        c.remove_many(&'b', 1).unwrap();
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.count_state(&'b'), 0);
+        // Sampling still covers exactly the live states.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let (s, r) = c.sample_pair(&mut rng);
+            assert_ne!(s, 'b');
+            assert_ne!(r, 'b');
+        }
+        // Revival re-enters the live index.
+        c.insert_many('b', 2);
+        assert_eq!(c.distinct(), 3);
+        assert_eq!(c.count_state(&'b'), 2);
+        let seen_b = (0..2_000).any(|_| {
+            let (s, r) = c.sample_pair(&mut rng);
+            s == 'b' || r == 'b'
+        });
+        assert!(seen_b);
+    }
+
+    #[test]
+    fn ordered_pair_weight_tracks_n() {
+        let mut c = CountConfiguration::from_groups([('x', 3)]);
+        assert_eq!(c.ordered_pair_weight(), 6.0);
+        c.insert_many('y', 2);
+        assert_eq!(c.ordered_pair_weight(), 20.0);
+        c.apply_outcome(&'x', &'y', ('y', 'y')).unwrap();
+        // apply_outcome preserves n, and with it the pair weight.
+        assert_eq!(c.ordered_pair_weight(), 20.0);
+        c.remove_many(&'y', 3).unwrap();
+        assert_eq!(c.ordered_pair_weight(), 2.0);
+        assert_eq!(CountConfiguration::<u8>::new().ordered_pair_weight(), 0.0);
     }
 
     #[test]

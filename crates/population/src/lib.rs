@@ -19,6 +19,8 @@
 //!   multiplicities only, O(distinct states) memory for giant anonymous
 //!   runs,
 //! * [`Multiset`] — order-insensitive view of a configuration,
+//! * [`dist`] — exact discrete samplers (binomial, hypergeometric,
+//!   multinomial, [`AliasTable`]) powering the batch-epoch execution path,
 //! * [`Topology`] — first-class interaction graphs (complete, ring, star,
 //!   grid, random-regular, Erdős–Rényi) with CSR adjacency and O(1)
 //!   uniform arc sampling, the data behind graph-aware scheduling,
@@ -60,6 +62,7 @@
 mod agent;
 mod config;
 mod count;
+pub mod dist;
 mod error;
 mod interaction;
 mod multiset;
@@ -72,6 +75,7 @@ mod topology;
 pub use agent::AgentId;
 pub use config::{Configuration, DenseConfiguration};
 pub use count::CountConfiguration;
+pub use dist::AliasTable;
 pub use error::PopulationError;
 pub use interaction::Interaction;
 pub use multiset::Multiset;

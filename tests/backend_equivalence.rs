@@ -1,7 +1,7 @@
-//! Dense ↔ count backend agreement.
+//! Dense ↔ count backend agreement, and interleaved ↔ epoch-path
+//! agreement.
 //!
-//! Two contracts tie the [`CountConfiguration`] backend to the dense
-//! per-agent semantics:
+//! Three contracts tie the execution paths together:
 //!
 //! 1. **Exact replay** — a configuration of anonymous agents is fully
 //!    captured by its state multiset, so folding a dense run's step
@@ -9,10 +9,18 @@
 //!    through `CountConfiguration::apply_outcome` must land on *exactly*
 //!    the dense run's final multiset, for any interaction sequence
 //!    (scheduled or scripted), any model and any fault pattern.
-//! 2. **Distributional agreement** — both backends realize the same
-//!    uniform-pairing law, so convergence-step distributions of the
-//!    ported protocols must agree across backends within sampling
+//! 2. **Distributional agreement (backends)** — both backends realize
+//!    the same uniform-pairing law, so convergence-step distributions of
+//!    the ported protocols must agree across backends within sampling
 //!    tolerance.
+//! 3. **Distributional agreement (epoch path)** — the batch-epoch path
+//!    (`run_epochs_until`) draws whole collision-free epochs in bulk but
+//!    realizes the same uniform-pair, i.i.d.-fault process as the
+//!    interleaved reference, so convergence-step distributions must agree
+//!    across *execution paths* too — fault-free and under binomially
+//!    thinned omissions — and schedules the bulk thinning cannot honor
+//!    (no fixed i.i.d. rate) must be rejected with the typed
+//!    [`EngineError::EpochIncompatible`] before any state is mutated.
 //!
 //! CI runs this suite with a bounded `PROPTEST_CASES` on every push.
 
@@ -20,15 +28,16 @@ use proptest::prelude::*;
 
 use ppfts::engine::convergence::stably;
 use ppfts::engine::{
-    ExecBackend, FullTrace, OneWayModel, OneWayProgram, OneWayRunner, RateStrategy, StatsOnly,
-    TwoWayModel, TwoWayRunner,
+    EngineError, ExecBackend, FullTrace, HorizonStrategy, OneWayModel, OneWayProgram, OneWayRunner,
+    RateStrategy, StatsOnly, TwoWayModel, TwoWayRunner,
 };
 use ppfts::population::{
-    Configuration, CountConfiguration, Multiset, Population, State, TableProtocol, TwoWayProtocol,
+    Configuration, CountConfiguration, Multiset, Population, Semantics, State, TableProtocol,
+    TwoWayProtocol,
 };
 use ppfts::protocols::{
-    ApproximateMajority, Epidemic, LeaderElection, LeaderState, MajorityState, Pairing,
-    PairingState,
+    majority_states, ApproximateMajority, Epidemic, ExactMajority, ExactMajorityState,
+    LeaderElection, LeaderState, MajorityState, Pairing, PairingState, Remainder, RemainderState,
 };
 
 /// One-way epidemic used by the one-way replay case.
@@ -113,6 +122,94 @@ where
         let steps = steps_to(make_protocol(), make_population(), seed, budget, 64, pred)
             .expect("seed must converge within budget");
         total += steps as f64;
+        count += 1;
+    }
+    total / count as f64
+}
+
+/// Steps-to-convergence of one seeded *epoch-path* run on the count
+/// backend, or `None` if the budget ran out. Fault-free (`Tw`), so the
+/// epoch path can never reject.
+fn epoch_steps_to<P>(
+    protocol: P,
+    population: CountConfiguration<P::State>,
+    seed: u64,
+    budget: u64,
+    pred: impl Fn(&Multiset<P::State>) -> bool,
+) -> Option<u64>
+where
+    P: TwoWayProtocol,
+{
+    let mut runner = TwoWayRunner::builder(TwoWayModel::Tw, protocol)
+        .population(population)
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("valid population");
+    let out = runner
+        .run_epochs_until(
+            budget,
+            stably(|c: &CountConfiguration<P::State>| pred(&c.counts()), 2),
+        )
+        .expect("fault-free count-backed runs are epoch compatible");
+    out.is_satisfied().then(|| out.steps())
+}
+
+/// Mean epoch-path convergence steps over a fixed seed set; every seed
+/// must converge.
+fn epoch_mean_steps<P>(
+    make_protocol: impl Fn() -> P,
+    make_population: impl Fn() -> CountConfiguration<P::State>,
+    seeds: std::ops::Range<u64>,
+    budget: u64,
+    pred: impl Fn(&Multiset<P::State>) -> bool + Copy,
+) -> f64
+where
+    P: TwoWayProtocol,
+{
+    let mut total = 0f64;
+    let mut count = 0usize;
+    for seed in seeds {
+        let steps = epoch_steps_to(make_protocol(), make_population(), seed, budget, pred)
+            .expect("seed must converge within budget");
+        total += steps as f64;
+        count += 1;
+    }
+    total / count as f64
+}
+
+/// Mean convergence steps of the omissive epidemic (`T1`, i.i.d. rate
+/// adversary) on the count backend, through either execution path.
+fn omissive_epidemic_mean_steps(
+    n: usize,
+    rate: f64,
+    seeds: std::ops::Range<u64>,
+    budget: u64,
+    epoch_path: bool,
+) -> f64 {
+    let mut total = 0f64;
+    let mut count = 0usize;
+    for seed in seeds {
+        let pred = stably(
+            |c: &CountConfiguration<bool>| c.counts().count(&true) == c.counts().len(),
+            2,
+        );
+        let mut runner = TwoWayRunner::builder(TwoWayModel::T1, Epidemic)
+            .population(CountConfiguration::from_groups([(true, 1), (false, n - 1)]))
+            .adversary(RateStrategy::new(rate))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .build()
+            .expect("valid population");
+        let out = if epoch_path {
+            runner
+                .run_epochs_until(budget, pred)
+                .expect("a rate adversary has a fixed i.i.d. rate")
+        } else {
+            runner.run_batched_until(budget, 64, pred)
+        };
+        assert!(out.is_satisfied(), "seed must converge within budget");
+        total += out.steps() as f64;
         count += 1;
     }
     total / count as f64
@@ -277,6 +374,159 @@ proptest! {
             "leader-election mean steps diverged: dense {dense:.0} vs count {count:.0}"
         );
     }
+
+    /// Distributional agreement across *execution paths*: the batch-epoch
+    /// sampler draws whole collision-free epochs in bulk, but the epidemic
+    /// convergence-step distribution must match the interleaved reference
+    /// within sampling tolerance. Seed-windowed, fault-free.
+    #[test]
+    fn epoch_epidemic_convergence_distributions_agree(
+        n in 100usize..240,
+        seed_base in 0u64..1_000,
+    ) {
+        let pred = |m: &Multiset<bool>| m.count(&true) == m.len();
+        let budget = 500_000;
+        let seeds = 12;
+        let interleaved = mean_steps(
+            || Epidemic,
+            || CountConfiguration::from_groups([(true, 1), (false, n - 1)]),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let epoch = epoch_mean_steps(
+            || Epidemic,
+            || CountConfiguration::from_groups([(true, 1), (false, n - 1)]),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let ratio = interleaved / epoch;
+        prop_assert!(
+            (0.5..=2.0).contains(&ratio),
+            "epidemic mean steps diverged: interleaved {interleaved:.0} vs epoch {epoch:.0} (n = {n})"
+        );
+    }
+
+    /// Epoch-path distributional agreement on the remaining ported
+    /// protocols of the contract: exact majority (cancellation +
+    /// conversion, margin-carrying strongs) and remainder mod 3 (active
+    /// absorption + opinion flooding), both seed-windowed and fault-free.
+    #[test]
+    fn epoch_ported_protocol_distributions_agree(
+        seed_base in 0u64..1_000,
+    ) {
+        // Exact majority, 2:1 margin at n = 48: X wins deterministically,
+        // so the comparison is steps until no Y-opinion agent remains.
+        let budget = 2_000_000;
+        let seeds = 10;
+        let pred = |m: &Multiset<ExactMajorityState>| {
+            m.count(&majority_states::SY) == 0 && m.count(&majority_states::WY) == 0
+        };
+        let groups = [(majority_states::SX, 32), (majority_states::SY, 16)];
+        let interleaved = mean_steps(
+            || ExactMajority,
+            || CountConfiguration::from_groups(groups),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let epoch = epoch_mean_steps(
+            || ExactMajority,
+            || CountConfiguration::from_groups(groups),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let ratio = interleaved / epoch;
+        prop_assert!(
+            (0.4..=2.5).contains(&ratio),
+            "exact-majority mean steps diverged: interleaved {interleaved:.0} vs epoch {epoch:.0}"
+        );
+
+        // Remainder mod 3 on 16 unit inputs (16 ≡ 1, so the true output
+        // is `true`): converged once one active survives and every agent
+        // votes `true`.
+        let remainder = Remainder::new(3, 1);
+        let inputs = [1u32; 16];
+        assert!(remainder.expected(&inputs));
+        let pred = |m: &Multiset<RemainderState>| {
+            let actives: usize = m
+                .iter()
+                .filter(|(q, _)| q.value.is_some())
+                .map(|(_, c)| c)
+                .sum();
+            actives == 1 && m.iter().all(|(q, _)| q.opinion)
+        };
+        let interleaved = mean_steps(
+            || remainder,
+            || remainder.initial_counts(&inputs),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let epoch = epoch_mean_steps(
+            || remainder,
+            || remainder.initial_counts(&inputs),
+            seed_base..seed_base + seeds,
+            budget,
+            pred,
+        );
+        let ratio = interleaved / epoch;
+        prop_assert!(
+            (0.4..=2.5).contains(&ratio),
+            "remainder mean steps diverged: interleaved {interleaved:.0} vs epoch {epoch:.0}"
+        );
+    }
+
+    /// Epoch-path distributional agreement under faults: `T1` omissions
+    /// at a fixed i.i.d. rate are thinned binomially per bulk group on
+    /// the epoch path and drawn per-interaction on the interleaved path —
+    /// the same law, so the slowed convergence distributions must still
+    /// agree.
+    #[test]
+    fn epoch_omissive_epidemic_distributions_agree(
+        rate_pct in 5u32..35,
+        seed_base in 0u64..1_000,
+    ) {
+        let n = 150;
+        let rate = f64::from(rate_pct) / 100.0;
+        let budget = 500_000;
+        let seeds = 12;
+        let interleaved =
+            omissive_epidemic_mean_steps(n, rate, seed_base..seed_base + seeds, budget, false);
+        let epoch =
+            omissive_epidemic_mean_steps(n, rate, seed_base..seed_base + seeds, budget, true);
+        let ratio = interleaved / epoch;
+        prop_assert!(
+            (0.5..=2.0).contains(&ratio),
+            "omissive epidemic mean steps diverged at rate {rate}: \
+             interleaved {interleaved:.0} vs epoch {epoch:.0}"
+        );
+    }
+}
+
+/// Typed rejection: the epoch path thins omissions binomially from a
+/// fixed i.i.d. rate, so a schedule-shaped adversary (here a horizon
+/// strategy) must be refused with `EpochIncompatible` — and the refusal
+/// must leave the runner untouched, so the interleaved path can still
+/// honor the exact schedule afterwards.
+#[test]
+fn epoch_path_rejects_non_iid_omission_schedules() {
+    let mut runner = TwoWayRunner::builder(TwoWayModel::T1, Epidemic)
+        .population(CountConfiguration::from_groups([(true, 1), (false, 63)]))
+        .adversary(HorizonStrategy::new(0.5, 1_000))
+        .seed(1)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("valid population");
+    let err = runner.run_epochs(10_000).unwrap_err();
+    assert!(matches!(err, EngineError::EpochIncompatible { .. }));
+    assert_eq!(runner.steps(), 0, "rejection must precede any mutation");
+    runner
+        .run(10_000)
+        .expect("interleaved path honors the schedule");
+    assert_eq!(runner.steps(), 10_000);
 }
 
 /// The acceptance fixture in miniature (the full n = 10⁶ run lives in
