@@ -1,0 +1,60 @@
+//! E16 — sharded dense stepping: the graphical-SKnO simulated epidemic
+//! of E13 (the heaviest per-step hooks in the suite) executed for a
+//! fixed interaction budget through `run_sharded`, at shard counts
+//! 1/2/4/8, on the E13 random 4-regular family.
+//!
+//! The sharded path is *bit-identical* to the sequential batched path
+//! at every shard count (`tests/shard_equivalence.rs`), so the only
+//! thing that varies across the `shards*` entries is wall-clock: the
+//! batch is drawn sequentially, partitioned into agent-disjoint levels,
+//! and the level application fans out over `shards` worker threads.
+//! With batches of 8192 over n = 1024 agents, levels hold ≈ n/2
+//! independent interactions — enough parallel work per level to
+//! amortize the barrier on multi-core hosts. On a single-core host the
+//! `shards > 1` entries honestly price the partition-plus-barrier
+//! overhead instead (see EXPERIMENTS.md E16).
+//!
+//! * `skno_rr4_n1024_shards{1,2,4,8}` — 64k interactions, o = 1
+//!   (token-heavy announcements in flight), fixed seed.
+//! * `skno_rr4_n4096_shards{1,8}` — the larger population, bounding the
+//!   scaling trend with one pair of entries.
+//!
+//! Run with `BENCH_JSON=$PWD/BENCH_RESULTS.json cargo bench -p
+//! ppfts-bench --bench e16_shard` from the workspace root to record the
+//! numbers into the committed baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppfts_bench::{skno_graphical_fixed_steps_sharded, E13_RR_DEGREE, E13_TOPOLOGY_SEED};
+use ppfts_population::Topology;
+
+const STEPS: u64 = 65_536;
+const O: u32 = 1;
+const RATE: f64 = 0.02;
+const SEED: u64 = 7;
+
+fn bench_e16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_shard");
+    group.sample_size(10);
+
+    let rr_1024 = Topology::random_regular(1024, E13_RR_DEGREE, E13_TOPOLOGY_SEED)
+        .expect("rr4 is feasible at n = 1024");
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("skno_rr4_n1024_shards{shards}"), |b| {
+            b.iter(|| skno_graphical_fixed_steps_sharded(&rr_1024, O, RATE, shards, STEPS, SEED));
+        });
+    }
+
+    group.sample_size(5);
+    let rr_4096 = Topology::random_regular(4096, E13_RR_DEGREE, E13_TOPOLOGY_SEED)
+        .expect("rr4 is feasible at n = 4096");
+    for shards in [1usize, 8] {
+        group.bench_function(format!("skno_rr4_n4096_shards{shards}"), |b| {
+            b.iter(|| skno_graphical_fixed_steps_sharded(&rr_4096, O, RATE, shards, STEPS, SEED));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e16);
+criterion_main!(benches);

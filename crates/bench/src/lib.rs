@@ -81,53 +81,65 @@ pub fn pairing_inputs(n: usize) -> Vec<PairingState> {
     Pairing::initial(n / 2, n / 2).as_slice().to_vec()
 }
 
+/// One seeded SID run on the Pairing workload: the single-seed body
+/// [`measure_sid`] fans out, exposed so job-granular drivers (the
+/// `ppfts-sweep` orchestrator) dispatch the *same* workload one seed at
+/// a time. Returns the run outcome and the simulated-step denominator.
+pub fn sid_pairing_run(n: usize, seed: u64, budget: u64) -> (RunOutcome, u64) {
+    let sims = pairing_inputs(n);
+    let expected = n / 2;
+    let mut runner = OneWayRunner::builder(OneWayModel::Io, Sid::new(Pairing))
+        .config(Sid::<Pairing>::initial(&sims))
+        .scheduler(UniformScheduler::new())
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("valid population");
+    let out = runner.run_batched_until(
+        budget,
+        BATCH,
+        stably(
+            |c| project(c).count_state(&PairingState::Paired) == expected,
+            STABLE_WINDOW,
+        ),
+    );
+    (out, expected as u64)
+}
+
 /// Measures SID's convergence on the Pairing workload.
 pub fn measure_sid(n: usize, seeds: u64, budget: u64) -> Convergence {
-    let results = run_seeds(0..seeds, workers(), |seed| {
-        let sims = pairing_inputs(n);
-        let expected = n / 2;
-        let mut runner = OneWayRunner::builder(OneWayModel::Io, Sid::new(Pairing))
-            .config(Sid::<Pairing>::initial(&sims))
-            .scheduler(UniformScheduler::new())
-            .seed(seed)
-            .trace_sink(StatsOnly)
-            .build()
-            .expect("valid population");
-        let out = runner.run_batched_until(
-            budget,
-            BATCH,
-            stably(
-                |c| project(c).count_state(&PairingState::Paired) == expected,
-                STABLE_WINDOW,
-            ),
-        );
-        (out, expected as u64)
-    });
+    let results = run_seeds(0..seeds, workers(), |seed| sid_pairing_run(n, seed, budget));
     aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// One seeded SKnO run on the Pairing workload under model I3 with
+/// omission bound `o` (single-seed body of [`measure_skno`]).
+pub fn skno_pairing_run(n: usize, o: u32, seed: u64, budget: u64) -> (RunOutcome, u64) {
+    let sims = pairing_inputs(n);
+    let expected = n / 2;
+    let mut runner = OneWayRunner::builder(OneWayModel::I3, Skno::new(Pairing, o))
+        .config(Skno::<Pairing>::initial(&sims))
+        .adversary(BoundedStrategy::new(0.02, o as u64))
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("valid population");
+    let out = runner.run_batched_until(
+        budget,
+        BATCH,
+        stably(
+            |c| project(c).count_state(&PairingState::Paired) == expected,
+            STABLE_WINDOW,
+        ),
+    );
+    (out, expected as u64)
 }
 
 /// Measures SKnO's convergence on the Pairing workload under model I3
 /// with omission bound `o` (the adversary spends the full budget).
 pub fn measure_skno(n: usize, o: u32, seeds: u64, budget: u64) -> Convergence {
     let results = run_seeds(0..seeds, workers(), |seed| {
-        let sims = pairing_inputs(n);
-        let expected = n / 2;
-        let mut runner = OneWayRunner::builder(OneWayModel::I3, Skno::new(Pairing, o))
-            .config(Skno::<Pairing>::initial(&sims))
-            .adversary(BoundedStrategy::new(0.02, o as u64))
-            .seed(seed)
-            .trace_sink(StatsOnly)
-            .build()
-            .expect("valid population");
-        let out = runner.run_batched_until(
-            budget,
-            BATCH,
-            stably(
-                |c| project(c).count_state(&PairingState::Paired) == expected,
-                STABLE_WINDOW,
-            ),
-        );
-        (out, expected as u64)
+        skno_pairing_run(n, o, seed, budget)
     });
     aggregate(n, results.into_iter().map(|s| s.value))
 }
@@ -156,27 +168,33 @@ pub fn measure_skno_scalar(n: usize, o: u32, seeds: u64, budget: u64) -> Converg
     aggregate(n, results.into_iter().map(|s| s.value))
 }
 
+/// One seeded run of the naming-composed simulator on the Pairing
+/// workload (single-seed body of [`measure_named`]).
+pub fn named_pairing_run(n: usize, seed: u64, budget: u64) -> (RunOutcome, u64) {
+    let sims = pairing_inputs(n);
+    let expected = n / 2;
+    let mut runner = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(Pairing, n))
+        .config(NamedSid::<Pairing>::initial(&sims))
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("valid population");
+    let out = runner.run_batched_until(
+        budget,
+        BATCH,
+        stably(
+            |c| project(c).count_state(&PairingState::Paired) == expected,
+            STABLE_WINDOW,
+        ),
+    );
+    (out, expected as u64)
+}
+
 /// Measures the naming-composed simulator's convergence (naming plus the
 /// simulated Pairing) with knowledge of `n`.
 pub fn measure_named(n: usize, seeds: u64, budget: u64) -> Convergence {
     let results = run_seeds(0..seeds, workers(), |seed| {
-        let sims = pairing_inputs(n);
-        let expected = n / 2;
-        let mut runner = OneWayRunner::builder(OneWayModel::Io, NamedSid::new(Pairing, n))
-            .config(NamedSid::<Pairing>::initial(&sims))
-            .seed(seed)
-            .trace_sink(StatsOnly)
-            .build()
-            .expect("valid population");
-        let out = runner.run_batched_until(
-            budget,
-            BATCH,
-            stably(
-                |c| project(c).count_state(&PairingState::Paired) == expected,
-                STABLE_WINDOW,
-            ),
-        );
-        (out, expected as u64)
+        named_pairing_run(n, seed, budget)
     });
     aggregate(n, results.into_iter().map(|s| s.value))
 }
@@ -354,16 +372,23 @@ pub fn measure_epidemic_topology(
     let prototype = make_topology();
     let n = prototype.len();
     let results = run_seeds(0..seeds, workers(), |seed| {
-        let mut runner =
-            scenario::epidemic_on(prototype.clone(), seed).expect("valid topology scenario");
-        let out = runner.run_batched_until(
-            budget,
-            BATCH,
-            stably(scenario::all_infected::<Configuration<bool>>, STABLE_WINDOW),
-        );
-        (out, n as u64)
+        epidemic_topology_run(&prototype, seed, budget)
     });
     aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// One seeded graph-epidemic run (single-seed body of
+/// [`measure_epidemic_topology`]).
+pub fn epidemic_topology_run(topology: &Topology, seed: u64, budget: u64) -> (RunOutcome, u64) {
+    let n = topology.len();
+    let mut runner =
+        scenario::epidemic_on(topology.clone(), seed).expect("valid topology scenario");
+    let out = runner.run_batched_until(
+        budget,
+        BATCH,
+        stably(scenario::all_infected::<Configuration<bool>>, STABLE_WINDOW),
+    );
+    (out, n as u64)
 }
 
 /// Degree of the E13 random-regular family.
@@ -406,21 +431,32 @@ pub fn e13_families(n: usize) -> Vec<(&'static str, Topology)> {
 pub fn measure_sid_epidemic_graphical(topology: &Topology, seeds: u64, budget: u64) -> Convergence {
     let n = topology.len();
     let results = run_seeds(0..seeds, workers(), |seed| {
-        let sims: Vec<bool> = (0..n).map(|v| v == 0).collect();
-        let mut runner =
-            OneWayRunner::builder(OneWayModel::Io, Sid::graphical(Epidemic, topology.clone()))
-                .config(Sid::<Epidemic>::initial(&sims))
-                .topology(topology.clone())
-                .seed(seed)
-                .trace_sink(StatsOnly)
-                .build()
-                .expect("graphical SID assembles on its own topology");
-        // Simulated infection is monotone, so one boundary confirmation
-        // suffices.
-        let out = runner.run_batched_until(budget, BATCH, |c| project(c).count_state(&true) == n);
-        (out, n as u64)
+        sid_epidemic_graphical_run(topology, seed, budget)
     });
     aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// One seeded graphical-SID simulated-epidemic run (single-seed body of
+/// [`measure_sid_epidemic_graphical`]).
+pub fn sid_epidemic_graphical_run(
+    topology: &Topology,
+    seed: u64,
+    budget: u64,
+) -> (RunOutcome, u64) {
+    let n = topology.len();
+    let sims: Vec<bool> = (0..n).map(|v| v == 0).collect();
+    let mut runner =
+        OneWayRunner::builder(OneWayModel::Io, Sid::graphical(Epidemic, topology.clone()))
+            .config(Sid::<Epidemic>::initial(&sims))
+            .topology(topology.clone())
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .build()
+            .expect("graphical SID assembles on its own topology");
+    // Simulated infection is monotone, so one boundary confirmation
+    // suffices.
+    let out = runner.run_batched_until(budget, BATCH, |c| project(c).count_state(&true) == n);
+    (out, n as u64)
 }
 
 /// E13: the same simulated-epidemic workload through **graphical
@@ -443,22 +479,79 @@ pub fn measure_skno_epidemic_graphical(
 ) -> Convergence {
     let n = topology.len();
     let results = run_seeds(0..seeds, workers(), |seed| {
-        let sims: Vec<bool> = (0..n).map(|v| v == 0).collect();
-        let mut runner = OneWayRunner::builder(
-            OneWayModel::I3,
-            Skno::graphical(Epidemic, o, topology.clone()),
-        )
-        .config(Skno::<Epidemic>::initial(&sims))
-        .topology(topology.clone())
-        .adversary(BoundedStrategy::new(rate, o as u64))
-        .seed(seed)
-        .trace_sink(StatsOnly)
-        .build()
-        .expect("graphical SKnO assembles on its own topology");
-        let out = runner.run_batched_until(budget, BATCH, |c| project(c).count_state(&true) == n);
-        (out, n as u64)
+        skno_epidemic_graphical_run(topology, o, rate, seed, budget)
     });
     aggregate(n, results.into_iter().map(|s| s.value))
+}
+
+/// One seeded graphical-SKnO simulated-epidemic run (single-seed body of
+/// [`measure_skno_epidemic_graphical`]).
+pub fn skno_epidemic_graphical_run(
+    topology: &Topology,
+    o: u32,
+    rate: f64,
+    seed: u64,
+    budget: u64,
+) -> (RunOutcome, u64) {
+    let n = topology.len();
+    let sims: Vec<bool> = (0..n).map(|v| v == 0).collect();
+    let mut runner = OneWayRunner::builder(
+        OneWayModel::I3,
+        Skno::graphical(Epidemic, o, topology.clone()),
+    )
+    .config(Skno::<Epidemic>::initial(&sims))
+    .topology(topology.clone())
+    .adversary(BoundedStrategy::new(rate, o as u64))
+    .seed(seed)
+    .trace_sink(StatsOnly)
+    .build()
+    .expect("graphical SKnO assembles on its own topology");
+    let out = runner.run_batched_until(budget, BATCH, |c| project(c).count_state(&true) == n);
+    (out, n as u64)
+}
+
+/// Batch size of the E16 sharded harness: the level planner packs
+/// ≈ n/2 agent-disjoint interactions per level, so batches much longer
+/// than the population keep every shard worker busy per level.
+pub const SHARD_BATCH: u64 = 8192;
+
+/// E16: executes exactly `steps` interactions of the graphical-SKnO
+/// simulated epidemic on `topology` with the batch application spread
+/// over `shards` worker threads (`run_sharded`), returning the
+/// simulated-infected count so the work cannot be elided.
+///
+/// The sharded path is bit-identical to the sequential batched path
+/// (certified in `tests/shard_equivalence.rs`), so for a fixed seed this
+/// function returns the *same* count at every shard count — the bench
+/// comparison `e16_shard/skno_rr4_n*_shards*` is pure wall-clock. The
+/// fixed interaction budget makes wall-clock directly divisible, the
+/// same convention as [`epidemic_fixed_steps_interleaved`].
+pub fn skno_graphical_fixed_steps_sharded(
+    topology: &Topology,
+    o: u32,
+    rate: f64,
+    shards: usize,
+    steps: u64,
+    seed: u64,
+) -> usize {
+    let n = topology.len();
+    let sims: Vec<bool> = (0..n).map(|v| v == 0).collect();
+    let mut runner = OneWayRunner::builder(
+        OneWayModel::I3,
+        Skno::graphical(Epidemic, o, topology.clone()),
+    )
+    .config(Skno::<Epidemic>::initial(&sims))
+    .topology(topology.clone())
+    .adversary(BoundedStrategy::new(rate, o as u64))
+    .seed(seed)
+    .trace_sink(StatsOnly)
+    .shards(shards)
+    .build()
+    .expect("graphical SKnO assembles on its own topology");
+    runner
+        .run_sharded(steps, SHARD_BATCH)
+        .expect("fixed-step SKnO epidemic cannot fail");
+    project(runner.config()).count_state(&true)
 }
 
 /// E12 (scheduling-layer cost): drains `draws` arcs from `topology` —
@@ -628,6 +721,32 @@ mod tests {
             ring.mean_steps,
             complete.mean_steps
         );
+    }
+
+    #[test]
+    fn sharded_fixed_step_workload_is_shard_count_invariant() {
+        let topology = Topology::random_regular(64, E13_RR_DEGREE, E13_TOPOLOGY_SEED).unwrap();
+        // o = 0: announcements complete in one delivery, so 20k
+        // interactions visibly spread the simulated epidemic. (o ≥ 1
+        // barely spreads at this scale — the E13 reassembly effect —
+        // which is why the invariance check below doesn't assert
+        // spread for it.)
+        let reference = skno_graphical_fixed_steps_sharded(&topology, 0, 0.02, 1, 20_000, 7);
+        assert!(reference > 1, "20k interactions must spread the epidemic");
+        for (o, expected) in [
+            (0u32, reference),
+            (1, {
+                skno_graphical_fixed_steps_sharded(&topology, 1, 0.02, 1, 20_000, 7)
+            }),
+        ] {
+            for shards in [2usize, 8] {
+                assert_eq!(
+                    skno_graphical_fixed_steps_sharded(&topology, o, 0.02, shards, 20_000, 7),
+                    expected,
+                    "o = {o}, shards = {shards}"
+                );
+            }
+        }
     }
 
     #[test]

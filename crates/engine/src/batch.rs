@@ -53,6 +53,61 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
+    run_seeds_inner(seeds, threads, &f, None)
+}
+
+/// [`run_seeds`] with a liveness callback: after each completed chunk of
+/// seeds, `progress(done, total)` is called with the global completed
+/// count — outside the per-seed hot loop, so cheap seeds pay one atomic
+/// add and one callback per *chunk*, not per seed.
+///
+/// `done` is monotone per caller thread but calls from different workers
+/// may arrive out of order; treat it as a watermark, not a sequence.
+/// [`run_seeds`] is this with no callback (and no progress accounting at
+/// all).
+///
+/// # Panics
+///
+/// Same conditions as [`run_seeds`].
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::run_seeds_with_progress;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let high_water = AtomicUsize::new(0);
+/// let out = run_seeds_with_progress(0..20, 4, |seed| seed * seed, |done, total| {
+///     assert!(done <= total);
+///     high_water.fetch_max(done, Ordering::Relaxed);
+/// });
+/// assert_eq!(out.len(), 20);
+/// assert_eq!(high_water.load(Ordering::Relaxed), 20);
+/// ```
+pub fn run_seeds_with_progress<T, F, G>(
+    seeds: impl IntoIterator<Item = u64>,
+    threads: usize,
+    f: F,
+    progress: G,
+) -> Vec<SeedSummary<T>>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+    G: Fn(usize, usize) + Sync,
+{
+    run_seeds_inner(seeds, threads, &f, Some(&progress))
+}
+
+fn run_seeds_inner<T, F>(
+    seeds: impl IntoIterator<Item = u64>,
+    threads: usize,
+    f: &F,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Vec<SeedSummary<T>>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
     assert!(threads > 0, "need at least one worker thread");
     let seeds: Vec<u64> = seeds.into_iter().collect();
     if seeds.is_empty() {
@@ -64,14 +119,15 @@ where
     // final chunks still even out stragglers.
     let chunk = (seeds.len() / (workers * 8)).max(1);
     let cursor = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
 
     let mut results: Vec<SeedSummary<T>> = Vec::with_capacity(seeds.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cursor = &cursor;
+            let completed = &completed;
             let seeds = &seeds;
-            let f = &f;
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
@@ -86,6 +142,11 @@ where
                             value: f(seed),
                         });
                     }
+                    if let Some(report) = progress {
+                        let done =
+                            completed.fetch_add(end - start, Ordering::Relaxed) + (end - start);
+                        report(done, seeds.len());
+                    }
                 }
                 local
             }));
@@ -97,6 +158,60 @@ where
 
     results.sort_by_key(|s| s.seed);
     results
+}
+
+/// Distribution summary of a sample: mean, min, and nearest-rank p50/p95
+/// percentiles — the shape experiment sweeps report alongside point
+/// stats.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::DistSummary;
+///
+/// let d = DistSummary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+/// assert_eq!((d.min, d.p50, d.p95, d.mean), (1.0, 2.0, 4.0, 2.5));
+/// assert!(DistSummary::of(&[]).is_none());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistSummary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Nearest-rank 50th percentile (the lower median).
+    pub p50: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+}
+
+impl DistSummary {
+    /// Summarizes `values`; `None` on an empty sample. NaN values make
+    /// the percentiles meaningless (they sort last) — don't feed them.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<DistSummary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(DistSummary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            p50: nearest_rank(&sorted, 0.50),
+            p95: nearest_rank(&sorted, 0.95),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted non-empty sample:
+/// the smallest element with at least `p` of the sample at or below it.
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -147,6 +262,63 @@ mod tests {
             assert_eq!(s.seed, i as u64);
             assert_eq!(s.value, i as u64 * 2);
         }
+    }
+
+    #[test]
+    fn progress_watermark_reaches_the_total() {
+        use std::sync::atomic::AtomicUsize;
+        let high_water = AtomicUsize::new(0);
+        let calls = AtomicUsize::new(0);
+        let out = run_seeds_with_progress(
+            0..50,
+            4,
+            |s| s,
+            |done, total| {
+                assert_eq!(total, 50);
+                assert!(done >= 1 && done <= total);
+                high_water.fetch_max(done, Ordering::Relaxed);
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out.len(), 50);
+        assert_eq!(high_water.load(Ordering::Relaxed), 50);
+        // Called per chunk, not per seed: strictly fewer calls than
+        // seeds (chunk = 50 / 32 = 1 only when seeds are scarce; with 50
+        // seeds over 4 workers chunk is 1, so allow == here and just
+        // check it was called at all).
+        assert!(calls.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn progress_chunking_batches_callbacks() {
+        use std::sync::atomic::AtomicUsize;
+        // 256 seeds over 2 workers: chunk = 256 / 16 = 16, so at most
+        // 256 / 16 = 16 callbacks for 256 seeds.
+        let calls = AtomicUsize::new(0);
+        let _ = run_seeds_with_progress(
+            0..256,
+            2,
+            |s| s,
+            |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        let calls = calls.load(Ordering::Relaxed);
+        assert!((2..=16).contains(&calls), "got {calls} callbacks");
+    }
+
+    #[test]
+    fn dist_summary_percentiles_are_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let d = DistSummary::of(&values).unwrap();
+        assert_eq!(d.count, 100);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.p50, 50.0);
+        assert_eq!(d.p95, 95.0);
+        assert!((d.mean - 50.5).abs() < 1e-9);
+        // Single-element sample: every statistic is that element.
+        let one = DistSummary::of(&[7.0]).unwrap();
+        assert_eq!((one.min, one.p50, one.p95, one.mean), (7.0, 7.0, 7.0, 7.0));
     }
 
     #[test]

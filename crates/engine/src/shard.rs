@@ -1,0 +1,346 @@
+//! Sharded application of drawn batches over the dense state slab.
+//!
+//! This is the execution half of the sharded dense path: the runner
+//! draws a batch sequentially (preserving the RNG stream), the
+//! [`LevelPlan`] partitions it into agent-disjoint levels, and
+//! [`apply_levels`] applies the levels across `std::thread::scope`
+//! workers against the backend's state slab.
+//!
+//! # Why the result is bit-identical to the sequential batched path
+//!
+//! * Steps inside a level touch pairwise-disjoint agent pairs (the
+//!   planner's invariant), and an interaction reads and writes only its
+//!   two endpoint states, so the steps of a level commute: any
+//!   execution order — including a parallel one — yields the same
+//!   post-level slab.
+//! * Levels are applied strictly in order, with a [`Barrier`] between
+//!   them, and the plan replays each agent's steps in batch order
+//!   across levels, so the composition of levels equals the sequential
+//!   composition of the batch.
+//! * The per-step tallies (applied / changed / omissive counts) are
+//!   summed into per-worker locals and merged by addition — an
+//!   order-insensitive reduction — so [`RunStats`](crate::RunStats)
+//!   come out identical regardless of thread arrival order.
+//! * Errors are merged by *minimum batch index*, not thread arrival:
+//!   within the earliest level containing a failure, every worker runs
+//!   its full chunk and the lowest-indexed error wins, so the reported
+//!   error is a deterministic function of the batch.
+//!
+//! The one intentional divergence: the sequential path stops exactly at
+//! a failing step, leaving the precise prefix applied; the sharded path
+//! aborts at the next level boundary, so the whole level containing the
+//! failure is applied before the run stops (and when several steps can
+//! fail, the step reported may differ from the sequential path's).
+//! Hook errors are impossible in runner-drawn batches — the adversary
+//! only decorates steps with model-permitted faults — so this corner
+//! exists for direct/planned misuse only; the bit-identity contract in
+//! `tests/shard_equivalence.rs` covers error-free runs.
+//!
+//! # Why the `unsafe` is sound
+//!
+//! Workers write the slab through [`StateSlab`], a `Sync` wrapper over a
+//! raw pointer. For each level, each step's endpoint indices are (a) in
+//! bounds (asserted by the planner against the population size, which
+//! equals the slab length) and (b) disjoint from every other step of
+//! the level; the level's steps are partitioned across workers by
+//! disjoint chunks, so no two threads ever hold references to the same
+//! agent state. The `Barrier` between levels orders every write of
+//! level `l` before every read of level `l + 1` (barrier waits form a
+//! happens-before edge), and the enclosing [`std::thread::scope`] joins
+//! all workers before the slab borrow ends.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+use ppfts_population::{Interaction, LevelPlan};
+
+use crate::EngineError;
+
+/// Order-insensitive per-batch tallies, merged by addition.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ShardTally {
+    /// Steps actually applied (all of them, on an error-free batch).
+    pub applied: u64,
+    /// Steps whose fault decoration was omissive.
+    pub omissive: u64,
+    /// Steps that changed at least one endpoint state.
+    pub changed: u64,
+}
+
+impl ShardTally {
+    fn merge(&mut self, other: ShardTally) {
+        self.applied += other.applied;
+        self.omissive += other.omissive;
+        self.changed += other.changed;
+    }
+}
+
+/// Shared mutable view of the dense state slab. See the module docs for
+/// the aliasing argument.
+struct StateSlab<Q> {
+    ptr: *mut Q,
+    len: usize,
+}
+
+// SAFETY: a `StateSlab` is only ever used to hand out `&mut Q` at
+// *disjoint* indices to different threads (guaranteed by the level
+// plan + chunk partition), which is exactly the access pattern that
+// makes sharing `&mut [Q]` across threads sound for `Q: Send`.
+unsafe impl<Q: Send> Sync for StateSlab<Q> {}
+
+impl<Q> StateSlab<Q> {
+    /// Borrows the states at `i` and `j` mutably.
+    ///
+    /// # Safety
+    ///
+    /// `i != j`, both in bounds, and no other thread may access index
+    /// `i` or `j` until the returned borrows end.
+    // The `&self -> &mut` shape is the point: many workers hold `&self`
+    // concurrently and the level plan (not the borrow checker) proves
+    // their index sets disjoint, which is what the safety contract
+    // below encodes.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn pair_mut(&self, i: usize, j: usize) -> (&mut Q, &mut Q) {
+        debug_assert!(i != j && i < self.len && j < self.len);
+        // SAFETY: caller contract — disjoint in-bounds indices, and
+        // exclusive access to both for the lifetime of the borrow.
+        unsafe { (&mut *self.ptr.add(i), &mut *self.ptr.add(j)) }
+    }
+}
+
+/// Applies a drawn batch to `states` along `plan`, level by level,
+/// spreading each level across up to `shards` scoped worker threads.
+///
+/// `steps[k]` is the batch's step `k` (the plan indexes into it);
+/// `hook` mutates the two endpoint states exactly like the sequential
+/// in-place fast path and reports `(starter_changed, reactor_changed)`;
+/// `is_omissive` classifies the fault decoration for the stats tally.
+///
+/// Returns the merged tallies and, if any step failed, the error of the
+/// *lowest-indexed* failing step (the one the sequential path would
+/// report). On an error the batch is partially applied at level
+/// granularity — see the module docs.
+pub(crate) fn apply_levels<Q, F, H, O>(
+    shards: usize,
+    states: &mut [Q],
+    steps: &[(Interaction, F)],
+    plan: &LevelPlan,
+    hook: &H,
+    is_omissive: &O,
+) -> (ShardTally, Option<EngineError>)
+where
+    Q: Send,
+    F: Copy + Sync,
+    H: Fn(&mut Q, &mut Q, F) -> Result<(bool, bool), EngineError> + Sync,
+    O: Fn(&F) -> bool + Sync,
+{
+    debug_assert_eq!(plan.len(), steps.len());
+    // More workers than the widest level can ever feed is pure
+    // synchronization overhead.
+    let workers = shards.max(1).min(plan.widest_level().max(1));
+    if workers == 1 {
+        return apply_levels_seq(states, steps, plan, hook, is_omissive);
+    }
+
+    let slab = StateSlab {
+        ptr: states.as_mut_ptr(),
+        len: states.len(),
+    };
+    let barrier = Barrier::new(workers);
+    let abort = AtomicBool::new(false);
+
+    let mut tally = ShardTally::default();
+    let mut first_error: Option<(u32, EngineError)> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let slab = &slab;
+            let barrier = &barrier;
+            let abort = &abort;
+            handles.push(scope.spawn(move || {
+                let mut local = ShardTally::default();
+                let mut error: Option<(u32, EngineError)> = None;
+                let mut aborted = false;
+                for level in plan.levels() {
+                    if !aborted {
+                        // Static contiguous chunk: worker `w` always owns
+                        // the same index range, independent of arrival
+                        // order. The chunk always runs to completion —
+                        // abort is decided only at level boundaries, so
+                        // exactly which steps ran never depends on
+                        // thread timing.
+                        let lo = level.len() * w / workers;
+                        let hi = level.len() * (w + 1) / workers;
+                        for &k in &level[lo..hi] {
+                            let (interaction, fault) = steps[k as usize];
+                            let (i, j) =
+                                (interaction.starter().index(), interaction.reactor().index());
+                            // SAFETY: the level plan guarantees the pairs
+                            // of a level are agent-disjoint and in bounds,
+                            // and chunks partition the level, so no other
+                            // thread touches indices i, j this level;
+                            // the barriers below sequence levels.
+                            let (s, r) = unsafe { slab.pair_mut(i, j) };
+                            match hook(s, r, fault) {
+                                Ok((s_changed, r_changed)) => {
+                                    local.applied += 1;
+                                    local.omissive += u64::from(is_omissive(&fault));
+                                    local.changed += u64::from(s_changed || r_changed);
+                                }
+                                Err(e) => {
+                                    if error.as_ref().is_none_or(|(k0, _)| k < *k0) {
+                                        error = Some((k, e));
+                                    }
+                                    abort.store(true, Ordering::Release);
+                                }
+                            }
+                        }
+                    }
+                    // Every worker must hit every barrier, abort or not,
+                    // or the others deadlock. The double barrier brackets
+                    // the abort load in a window where no worker can be
+                    // storing it, so all workers decide the same levels.
+                    barrier.wait();
+                    aborted = abort.load(Ordering::Acquire);
+                    barrier.wait();
+                }
+                (local, error)
+            }));
+        }
+        for handle in handles {
+            let (local, error) = handle.join().expect("shard worker panicked");
+            tally.merge(local);
+            if let Some((k, e)) = error {
+                if first_error.as_ref().is_none_or(|(k0, _)| k < *k0) {
+                    first_error = Some((k, e));
+                }
+            }
+        }
+    });
+    (tally, first_error.map(|(_, e)| e))
+}
+
+/// The `workers == 1` spine of [`apply_levels`]: same level walk, no
+/// threads, no unsafe. Kept separate both as the cheap path for
+/// narrow plans and as an executable statement of what the parallel
+/// path computes.
+fn apply_levels_seq<Q, F, H, O>(
+    states: &mut [Q],
+    steps: &[(Interaction, F)],
+    plan: &LevelPlan,
+    hook: &H,
+    is_omissive: &O,
+) -> (ShardTally, Option<EngineError>)
+where
+    F: Copy,
+    H: Fn(&mut Q, &mut Q, F) -> Result<(bool, bool), EngineError>,
+    O: Fn(&F) -> bool,
+{
+    let mut tally = ShardTally::default();
+    for level in plan.levels() {
+        for &k in level {
+            let (interaction, fault) = steps[k as usize];
+            let (i, j) = (interaction.starter().index(), interaction.reactor().index());
+            // Disjointness within the level makes split-borrow safe code
+            // possible here, but plain index juggling is simpler: borrow
+            // the lower index first.
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let (head, tail) = states.split_at_mut(hi);
+            let (a, b) = (&mut head[lo], &mut tail[0]);
+            let (s, r) = if i < j { (a, b) } else { (b, a) };
+            match hook(s, r, fault) {
+                Ok((s_changed, r_changed)) => {
+                    tally.applied += 1;
+                    tally.omissive += u64::from(is_omissive(&fault));
+                    tally.changed += u64::from(s_changed || r_changed);
+                }
+                Err(e) => return (tally, Some(e)),
+            }
+        }
+    }
+    (tally, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_of(steps: &[(Interaction, bool)], n: usize) -> LevelPlan {
+        let mut plan = LevelPlan::new();
+        plan.compute(steps.iter().map(|(i, _)| *i), n);
+        plan
+    }
+
+    /// The "epidemic" hook: starter infects reactor unless the fault
+    /// (here a plain bool) omits the transmission.
+    fn epidemic_hook(s: &mut u32, r: &mut u32, omit: bool) -> Result<(bool, bool), EngineError> {
+        if !omit && *s == 1 && *r == 0 {
+            *r = 1;
+            return Ok((false, true));
+        }
+        Ok((false, false))
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_chain() {
+        let n = 64;
+        let steps: Vec<(Interaction, bool)> = (0..n - 1)
+            .map(|i| (Interaction::new(i, i + 1).unwrap(), i % 7 == 3))
+            .collect();
+        let plan = plan_of(&steps, n);
+        let mut seq: Vec<u32> = vec![0; n];
+        seq[0] = 1;
+        let mut par = seq.clone();
+        let (t_seq, e_seq) = apply_levels(1, &mut seq, &steps, &plan, &epidemic_hook, &|&o| o);
+        let (t_par, e_par) = apply_levels(8, &mut par, &steps, &plan, &epidemic_hook, &|&o| o);
+        assert!(e_seq.is_none() && e_par.is_none());
+        assert_eq!(seq, par);
+        assert_eq!(t_seq.applied, t_par.applied);
+        assert_eq!(t_seq.changed, t_par.changed);
+        assert_eq!(t_seq.omissive, t_par.omissive);
+    }
+
+    #[test]
+    fn error_reported_is_the_lowest_batch_index() {
+        let n = 16;
+        // Disjoint pairs — one level — with two failing steps; the
+        // sharded path must report the lower-indexed one regardless of
+        // which worker hits its failure first.
+        let steps: Vec<(Interaction, bool)> = (0..8)
+            .map(|i| (Interaction::new(2 * i, 2 * i + 1).unwrap(), false))
+            .collect();
+        let plan = plan_of(&steps, n);
+        let hook = |s: &mut u32, _r: &mut u32, _f: bool| match *s {
+            6 => Err(EngineError::PerAgentBackendRequired {
+                operation: "lower-indexed failure",
+            }),
+            10 => Err(EngineError::PerAgentBackendRequired {
+                operation: "higher-indexed failure",
+            }),
+            _ => Ok((false, false)),
+        };
+        for _ in 0..16 {
+            let mut states: Vec<u32> = (0..n as u32).collect();
+            let (_, err) = apply_levels(4, &mut states, &steps, &plan, &hook, &|_| false);
+            // Steps 3 (starter state 6) and 5 (starter state 10) both
+            // fail in the same level; batch index 3 must win on every
+            // run, regardless of worker arrival order.
+            match err {
+                Some(EngineError::PerAgentBackendRequired { operation }) => {
+                    assert_eq!(operation, "lower-indexed failure");
+                }
+                other => panic!("unexpected merge result: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let steps: Vec<(Interaction, bool)> = Vec::new();
+        let plan = plan_of(&steps, 4);
+        let mut states = vec![0u32; 4];
+        let (tally, err) = apply_levels(8, &mut states, &steps, &plan, &epidemic_hook, &|&o| o);
+        assert!(err.is_none());
+        assert_eq!(tally.applied, 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Collision-free partitioning of interaction batches for sharded stepping.
+//!
+//! The batched execution path in `ppfts-engine` draws a whole batch of
+//! (interaction, fault) steps up front and then applies them in batch
+//! order. To apply a batch across worker threads *without changing the
+//! result*, the steps must be grouped so that
+//!
+//! 1. steps inside a group touch pairwise-disjoint agent pairs (they
+//!    commute, so the group may be applied in any order — or in
+//!    parallel), and
+//! 2. the groups, applied in order, replay every agent's interactions in
+//!    batch order (so the composition equals the sequential result).
+//!
+//! [`LevelPlan`] computes such a grouping by *level scheduling*: step `k`
+//! with endpoints `(s, r)` is assigned
+//!
+//! ```text
+//! level[k] = max(next_level[s], next_level[r])
+//! ```
+//!
+//! where `next_level[a]` is one past the level of agent `a`'s most recent
+//! step (0 if untouched). Two steps sharing an agent therefore get
+//! strictly increasing levels — so each level is agent-disjoint — and
+//! each agent's steps appear in batch order across levels. Within a
+//! level, steps are kept in batch order (a stable counting sort), which
+//! makes the whole plan a deterministic function of the batch alone.
+//!
+//! When the batch is much longer than the population (the regime the
+//! batched runner targets), levels hold ≈ `n/2` interactions each — a
+//! full matching's worth of independent work per synchronization point.
+//!
+//! This module is pure safe bookkeeping; the thread orchestration that
+//! consumes a plan lives in `ppfts-engine`.
+
+use crate::interaction::Interaction;
+
+/// A partition of an interaction batch into ordered, agent-disjoint
+/// levels. See the [module docs](self) for the construction and the
+/// determinism argument.
+///
+/// The plan holds *indices into the batch*, not the interactions
+/// themselves; callers keep the batch and use [`LevelPlan::level`] /
+/// [`LevelPlan::levels`] to walk it level by level. Internal scratch
+/// buffers are retained across [`LevelPlan::compute`] calls so a plan
+/// can be reused batch after batch without reallocating.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_population::{Interaction, LevelPlan};
+///
+/// let batch = [
+///     Interaction::new(0, 1).unwrap(), // level 0
+///     Interaction::new(2, 3).unwrap(), // level 0 (disjoint from the first)
+///     Interaction::new(1, 2).unwrap(), // level 1 (waits for both)
+/// ];
+/// let mut plan = LevelPlan::new();
+/// plan.compute(batch.iter().copied(), 4);
+/// assert_eq!(plan.level_count(), 2);
+/// assert_eq!(plan.level(0), &[0, 1]);
+/// assert_eq!(plan.level(1), &[2]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LevelPlan {
+    /// Batch indices grouped by level; batch order within each level.
+    order: Vec<u32>,
+    /// Level `l` occupies `order[bounds[l] .. bounds[l + 1]]`.
+    bounds: Vec<u32>,
+    /// Scratch: level assigned to each batch index.
+    level_of: Vec<u32>,
+    /// Scratch: per agent, one past the level of its most recent step.
+    /// Valid only where `stamp` matches `epoch` (avoids an O(n) clear
+    /// per batch).
+    next_level: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Scratch: write cursor per level for the counting sort.
+    cursor: Vec<u32>,
+}
+
+impl LevelPlan {
+    /// Creates an empty plan. Scratch buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        LevelPlan::default()
+    }
+
+    /// Computes the level partition of `pairs` over a population of
+    /// `n_agents` agents, replacing any previous plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interaction references an agent `>= n_agents`, or if
+    /// the batch holds `u32::MAX` or more steps (batches are drawn in
+    /// bounded chunks well below that).
+    pub fn compute(&mut self, pairs: impl ExactSizeIterator<Item = Interaction>, n_agents: usize) {
+        let len = pairs.len();
+        assert!(
+            u32::try_from(len).is_ok() && (len as u32) < u32::MAX,
+            "batch of {len} steps overflows the level planner's u32 indices"
+        );
+        self.order.clear();
+        self.bounds.clear();
+        self.level_of.clear();
+        if self.next_level.len() < n_agents {
+            self.next_level.resize(n_agents, 0);
+            self.stamp.resize(n_agents, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: old stamps could alias the new epoch, so reset.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+
+        // Pass 1: assign levels and count the size of each.
+        let mut max_level = 0u32;
+        for pair in pairs {
+            let s = pair.starter().index();
+            let r = pair.reactor().index();
+            assert!(
+                s < n_agents && r < n_agents,
+                "interaction {pair} out of bounds for population of {n_agents}"
+            );
+            let ls = if self.stamp[s] == self.epoch {
+                self.next_level[s]
+            } else {
+                0
+            };
+            let lr = if self.stamp[r] == self.epoch {
+                self.next_level[r]
+            } else {
+                0
+            };
+            let level = ls.max(lr);
+            self.level_of.push(level);
+            self.next_level[s] = level + 1;
+            self.next_level[r] = level + 1;
+            self.stamp[s] = self.epoch;
+            self.stamp[r] = self.epoch;
+            max_level = max_level.max(level);
+        }
+        let level_count = if self.level_of.is_empty() {
+            0
+        } else {
+            max_level as usize + 1
+        };
+
+        // Pass 2: stable counting sort of batch indices by level.
+        self.bounds.resize(level_count + 1, 0);
+        for &l in &self.level_of {
+            self.bounds[l as usize + 1] += 1;
+        }
+        for l in 1..self.bounds.len() {
+            self.bounds[l] += self.bounds[l - 1];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.bounds[..level_count]);
+        self.order.resize(len, 0);
+        for (k, &l) in self.level_of.iter().enumerate() {
+            let slot = self.cursor[l as usize];
+            self.order[slot as usize] = k as u32;
+            self.cursor[l as usize] += 1;
+        }
+    }
+
+    /// Number of steps in the planned batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the planned batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of levels (synchronization points) in the plan.
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Batch indices of level `l`, in batch order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= level_count()`.
+    #[must_use]
+    pub fn level(&self, l: usize) -> &[u32] {
+        &self.order[self.bounds[l] as usize..self.bounds[l + 1] as usize]
+    }
+
+    /// Iterates over the levels in order; each item is the level's batch
+    /// indices in batch order.
+    pub fn levels(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.level_count()).map(move |l| self.level(l))
+    }
+
+    /// Size of the largest level — an upper bound on useful parallelism
+    /// for this batch.
+    #[must_use]
+    pub fn widest_level(&self) -> usize {
+        self.levels().map(<[u32]>::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    fn random_batch(rng: &mut SmallRng, n: usize, len: usize) -> Vec<Interaction> {
+        (0..len)
+            .map(|_| loop {
+                let s = rng.gen_range(0..n);
+                let r = rng.gen_range(0..n);
+                if s != r {
+                    return Interaction::new(s, r).unwrap();
+                }
+            })
+            .collect()
+    }
+
+    /// The three invariants that make a plan a valid parallel schedule.
+    fn assert_valid_plan(plan: &LevelPlan, batch: &[Interaction]) {
+        // (a) Every batch index appears exactly once.
+        let mut seen = vec![false; batch.len()];
+        for level in plan.levels() {
+            for &k in level {
+                assert!(!seen[k as usize], "index {k} scheduled twice");
+                seen[k as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some index never scheduled");
+
+        // (b) No agent appears twice within a level.
+        for level in plan.levels() {
+            let mut agents = HashSet::new();
+            for &k in level {
+                let i = batch[k as usize];
+                assert!(agents.insert(i.starter()), "starter repeated in level");
+                assert!(agents.insert(i.reactor()), "reactor repeated in level");
+            }
+        }
+
+        // (c) Each agent's steps appear in batch order across the
+        // level sequence, and in batch order within each level.
+        let mut last_index: std::collections::HashMap<AgentIdKey, u32> = Default::default();
+        for level in plan.levels() {
+            let mut prev = None;
+            for &k in level {
+                if let Some(p) = prev {
+                    assert!(k > p, "level not in batch order");
+                }
+                prev = Some(k);
+            }
+            for &k in level {
+                let i = batch[k as usize];
+                for a in [i.starter().index(), i.reactor().index()] {
+                    if let Some(&p) = last_index.get(&a) {
+                        assert!(k > p, "agent {a} replayed out of batch order");
+                    }
+                    last_index.insert(a, k);
+                }
+            }
+        }
+    }
+
+    type AgentIdKey = usize;
+
+    #[test]
+    fn empty_batch_has_no_levels() {
+        let mut plan = LevelPlan::new();
+        plan.compute([].into_iter(), 8);
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.level_count(), 0);
+        assert!(plan.is_empty());
+        assert_eq!(plan.widest_level(), 0);
+    }
+
+    #[test]
+    fn disjoint_pairs_share_a_level() {
+        let batch = [
+            Interaction::new(0, 1).unwrap(),
+            Interaction::new(2, 3).unwrap(),
+            Interaction::new(4, 5).unwrap(),
+        ];
+        let mut plan = LevelPlan::new();
+        plan.compute(batch.iter().copied(), 6);
+        assert_eq!(plan.level_count(), 1);
+        assert_eq!(plan.level(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn chained_pairs_serialize() {
+        // Every step shares agent 0 — the plan must be fully sequential.
+        let batch: Vec<Interaction> = (1..6).map(|r| Interaction::new(0, r).unwrap()).collect();
+        let mut plan = LevelPlan::new();
+        plan.compute(batch.iter().copied(), 6);
+        assert_eq!(plan.level_count(), 5);
+        for (l, level) in plan.levels().enumerate() {
+            assert_eq!(level, &[l as u32]);
+        }
+    }
+
+    #[test]
+    fn reuse_across_batches_resets_state() {
+        let mut plan = LevelPlan::new();
+        let a = [
+            Interaction::new(0, 1).unwrap(),
+            Interaction::new(0, 2).unwrap(),
+        ];
+        plan.compute(a.iter().copied(), 4);
+        assert_eq!(plan.level_count(), 2);
+        // A fresh batch on the same agents must start from level 0 again.
+        let b = [Interaction::new(0, 1).unwrap()];
+        plan.compute(b.iter().copied(), 4);
+        assert_eq!(plan.level_count(), 1);
+        assert_valid_plan(&plan, &b);
+    }
+
+    #[test]
+    fn random_batches_yield_valid_plans() {
+        let mut rng = SmallRng::seed_from_u64(0xE16);
+        let mut plan = LevelPlan::new();
+        for &(n, len) in &[(2usize, 64usize), (5, 200), (16, 1000), (64, 4096)] {
+            for _ in 0..8 {
+                let batch = random_batch(&mut rng, n, len);
+                plan.compute(batch.iter().copied(), n);
+                assert_valid_plan(&plan, &batch);
+                // Long batches over few agents must still expose
+                // parallelism bounded by a perfect matching.
+                assert!(plan.widest_level() <= n / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn long_batch_levels_approach_matching_width() {
+        // batch >> n: average level occupancy should be a decent
+        // fraction of n/2, or the sharded path has no work to spread.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 256;
+        let batch = random_batch(&mut rng, n, 8192);
+        let mut plan = LevelPlan::new();
+        plan.compute(batch.iter().copied(), n);
+        let avg = plan.len() as f64 / plan.level_count() as f64;
+        assert!(
+            avg > n as f64 / 8.0,
+            "average level occupancy {avg:.1} too small for n = {n}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_interaction_panics() {
+        let mut plan = LevelPlan::new();
+        let batch = [Interaction::new(0, 9).unwrap()];
+        plan.compute(batch.iter().copied(), 4);
+    }
+}

@@ -1,0 +1,416 @@
+//! Minimal JSON layer: a recursive-descent parser to a [`Value`] tree
+//! and a string escaper for emitting JSONL records. The build
+//! environment is offline (no serde), and the two consumers — scenario
+//! manifests and the per-job result ledger — need exactly standard JSON
+//! with no extensions, so the whole layer fits in one small module.
+//! (The `ppfts_bench::regression` parser is shape-specific to the bench
+//! report; this one is general, for manifest schemas that will grow.)
+
+use std::fmt;
+
+/// A parsed JSON value. Numbers are `f64` — every quantity a manifest
+/// carries (sizes, seeds, budgets up to 2⁵³) is exactly representable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order (duplicate keys are kept; lookups see
+    /// the first).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object; `None` on missing keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// exactly (no fraction, no sign, in `u64` range).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0).then_some(n as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with byte offset context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What the parser expected.
+    pub expected: &'static str,
+    /// Byte offset in the input where parsing stopped.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError {
+            expected: "end of input",
+            at: p.pos,
+        });
+    }
+    Ok(value)
+}
+
+/// Escapes `s` for embedding in a JSON string literal (quotes not
+/// included).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), ParseError> {
+        if self.next() == Some(b) {
+            Ok(())
+        } else {
+            Err(ParseError {
+                expected: what,
+                at: self.pos.saturating_sub(1),
+            })
+        }
+    }
+
+    fn literal(&mut self, word: &'static str, what: &'static str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(ParseError {
+                expected: what,
+                at: self.pos,
+            })
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", "'true'").map(|()| Value::Bool(true)),
+            Some(b'f') => self
+                .literal("false", "'false'")
+                .map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null", "'null'").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(ParseError {
+                expected: "a JSON value",
+                at: self.pos,
+            }),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{', "'{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Obj(members)),
+                _ => {
+                    return Err(ParseError {
+                        expected: "',' or '}'",
+                        at: self.pos.saturating_sub(1),
+                    })
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => {
+                    return Err(ParseError {
+                        expected: "',' or ']'",
+                        at: self.pos.saturating_sub(1),
+                    })
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(ParseError {
+                                expected: "four hex digits",
+                                at: self.pos,
+                            })?;
+                        self.pos += 4;
+                        // Surrogate pairs don't occur in manifests;
+                        // reject rather than mis-decode.
+                        out.push(char::from_u32(hex).ok_or(ParseError {
+                            expected: "a non-surrogate code point",
+                            at: self.pos - 4,
+                        })?);
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            expected: "a string escape",
+                            at: self.pos.saturating_sub(1),
+                        })
+                    }
+                },
+                Some(_) => {
+                    // Collect the raw UTF-8 run up to the next quote or
+                    // backslash in one go.
+                    let start = self.pos - 1;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
+                        |_| ParseError {
+                            expected: "valid UTF-8",
+                            at: start,
+                        },
+                    )?);
+                }
+                None => {
+                    return Err(ParseError {
+                        expected: "a closing '\"'",
+                        at: self.pos,
+                    })
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while let Some(b'0'..=b'9') = self.peek() {
+                self.pos += 1;
+            }
+        }
+        if let Some(b'e' | b'E') = self.peek() {
+            self.pos += 1;
+            if let Some(b'+' | b'-') = self.peek() {
+                self.pos += 1;
+            }
+            while let Some(b'0'..=b'9') = self.peek() {
+                self.pos += 1;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or(ParseError {
+                expected: "a number",
+                at: start,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true, "e": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("b").unwrap().get("e"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Value::Num(12.0).as_u64(), Some(12));
+        assert_eq!(Value::Num(12.5).as_u64(), None);
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Str("12".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let err = parse("{} x").unwrap_err();
+        assert_eq!(err.expected, "end of input");
+    }
+
+    #[test]
+    fn torn_documents_are_errors_not_panics() {
+        for torn in ["{\"a\": 1", "{\"a\"", "[1, 2", "\"abc", "{\"a\": }", ""] {
+            assert!(parse(torn).is_err(), "accepted torn input {torn:?}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        // Both the \uXXXX escape path and the raw multi-byte UTF-8 run.
+        let v = parse(r#""A\u00e9 é""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé é"));
+    }
+}

@@ -1,0 +1,402 @@
+//! The sweep driver: runs a manifest's pending jobs across threads,
+//! streaming each finished job as one JSONL line that doubles as the
+//! checkpoint ledger.
+//!
+//! # Checkpoint / resume
+//!
+//! The output file is the *only* state. Every completed job appends
+//! (and flushes) one line `{"id": …, "converged": …, "steps": …,
+//! "simulated": …}` under a mutex, so after a kill the file holds every
+//! finished job plus at most one torn line. On the next invocation
+//! [`load_ledger`] drops unparseable lines (rewriting the file so later
+//! appends don't glue onto a torn tail), [`run_sweep`] skips every
+//! recorded id, and the interrupted or failed jobs — never written —
+//! simply run again. Job results are deterministic in the job
+//! ([`run_job`]), so a resumed sweep is bit-identical to a
+//! straight-through one.
+//!
+//! Dispatch reuses the engine's chunked atomic-cursor fan-out
+//! ([`run_seeds`] /  [`run_seeds_with_progress`]) over pending-job
+//! indices: no queue mutex, work-stealing tail balance, and the same
+//! per-chunk progress watermark the experiment harnesses use.
+
+use std::collections::BTreeSet;
+use std::fs::OpenOptions;
+use std::io::{self, BufWriter, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ppfts_engine::{run_seeds, run_seeds_with_progress, DistSummary};
+
+use crate::json;
+use crate::manifest::{group_of, Manifest};
+use crate::scenario::{run_job, JobResult};
+
+/// What one [`run_sweep`] invocation did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Jobs the manifest expands to.
+    pub total: usize,
+    /// Jobs already in the ledger, skipped.
+    pub skipped: usize,
+    /// Jobs run and recorded by this invocation.
+    pub ran: usize,
+    /// Jobs that panicked; not recorded, so a rerun retries them.
+    pub failed: usize,
+    /// Jobs still missing from the ledger after this invocation
+    /// (failed ones, plus everything beyond a `max_jobs` cap).
+    pub remaining: usize,
+}
+
+/// Renders one ledger line (no trailing newline).
+#[must_use]
+pub fn render_result(r: &JobResult) -> String {
+    format!(
+        "{{\"id\": \"{}\", \"converged\": {}, \"steps\": {}, \"simulated\": {}}}",
+        json::escape(&r.id),
+        r.converged,
+        r.steps,
+        r.simulated
+    )
+}
+
+fn parse_result(line: &str) -> Option<JobResult> {
+    let v = json::parse(line).ok()?;
+    Some(JobResult {
+        id: v.get("id")?.as_str()?.to_string(),
+        converged: v.get("converged")?.as_bool()?,
+        steps: v.get("steps")?.as_u64()?,
+        simulated: v.get("simulated")?.as_u64()?,
+    })
+}
+
+/// Reads a ledger file into its recorded results, in file order.
+///
+/// A missing file is an empty ledger. Unparseable lines — a torn tail
+/// from a kill mid-append, or hand-editing damage — are dropped, and
+/// when any are found the file is rewritten to the surviving records so
+/// subsequent appends start on a clean line boundary. The jobs on
+/// dropped lines are thereby un-done and will rerun.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading or rewriting the file.
+pub fn load_ledger(path: &Path) -> io::Result<Vec<JobResult>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut results = Vec::new();
+    let mut dropped = false;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_result(line) {
+            Some(r) => results.push(r),
+            None => dropped = true,
+        }
+    }
+    if dropped {
+        let mut clean = String::new();
+        for r in &results {
+            clean.push_str(&render_result(r));
+            clean.push('\n');
+        }
+        std::fs::write(path, clean)?;
+    }
+    Ok(results)
+}
+
+/// Runs every manifest job not yet in the ledger at `out`, appending
+/// one JSONL line per finished job, fanned out over `threads` workers.
+///
+/// `max_jobs` caps how many pending jobs this invocation attempts —
+/// the CI smoke uses it to simulate a mid-sweep kill, and it gives
+/// long sweeps a natural session granularity. `progress(done, total)`
+/// is forwarded to the dispatcher's per-chunk watermark (`total` is
+/// this invocation's attempted-job count).
+///
+/// # Errors
+///
+/// Propagates ledger I/O failures. A job that *panics* is not an
+/// error: it is counted in [`SweepReport::failed`], left out of the
+/// ledger, and retried by the next invocation.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or if the ledger mutex was poisoned.
+pub fn run_sweep(
+    manifest: &Manifest,
+    out: &Path,
+    threads: usize,
+    max_jobs: Option<usize>,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> io::Result<SweepReport> {
+    assert!(threads > 0, "need at least one worker thread");
+    let done: BTreeSet<String> = load_ledger(out)?.into_iter().map(|r| r.id).collect();
+    let pending: Vec<_> = manifest
+        .jobs
+        .iter()
+        .filter(|j| !done.contains(&j.id))
+        .collect();
+    let attempt = max_jobs.map_or(pending.len(), |cap| cap.min(pending.len()));
+    let batch = &pending[..attempt];
+
+    let file = OpenOptions::new().create(true).append(true).open(out)?;
+    let writer = Mutex::new(BufWriter::new(file));
+    let failed = AtomicUsize::new(0);
+    let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
+
+    let run_one = |i: u64| {
+        let job = batch[i as usize];
+        // A panicking job must not take the whole sweep (and the other
+        // workers' finished-but-unwritten jobs) down with it.
+        match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
+            Ok(result) => {
+                let mut w = writer.lock().expect("ledger writer poisoned");
+                // Flush per job: a kill loses at most one torn line,
+                // which load_ledger repairs on resume.
+                let wrote = writeln!(w, "{}", render_result(&result)).and_then(|()| w.flush());
+                if let Err(e) = wrote {
+                    io_error
+                        .lock()
+                        .expect("error slot poisoned")
+                        .get_or_insert(e);
+                }
+            }
+            Err(_) => {
+                failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+    match progress {
+        Some(report) => {
+            run_seeds_with_progress(0..attempt as u64, threads, run_one, |done, total| {
+                report(done, total);
+            });
+        }
+        None => {
+            run_seeds(0..attempt as u64, threads, run_one);
+        }
+    }
+    if let Some(e) = io_error.lock().expect("error slot poisoned").take() {
+        return Err(e);
+    }
+
+    let failed = failed.load(Ordering::Relaxed);
+    Ok(SweepReport {
+        total: manifest.jobs.len(),
+        skipped: done.len(),
+        ran: attempt - failed,
+        failed,
+        remaining: manifest.jobs.len() - done.len() - (attempt - failed),
+    })
+}
+
+/// How a ledger squares with its manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Jobs the manifest expands to.
+    pub expected: usize,
+    /// Distinct manifest jobs the ledger records.
+    pub recorded: usize,
+    /// Manifest jobs with no ledger entry.
+    pub missing: Vec<String>,
+    /// Ledger ids the manifest doesn't produce (stale file, wrong
+    /// manifest).
+    pub unknown: Vec<String>,
+    /// Ids recorded more than once.
+    pub duplicates: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Complete and clean: every job exactly once, nothing else.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty() && self.unknown.is_empty() && self.duplicates.is_empty()
+    }
+}
+
+/// Audits the ledger at `out` against `manifest`: completeness (every
+/// job recorded), provenance (no foreign ids) and uniqueness (no
+/// duplicates).
+///
+/// # Errors
+///
+/// Propagates ledger I/O failures.
+pub fn verify(manifest: &Manifest, out: &Path) -> io::Result<VerifyReport> {
+    let recorded = load_ledger(out)?;
+    let expected: BTreeSet<&str> = manifest.jobs.iter().map(|j| j.id.as_str()).collect();
+    let mut seen = BTreeSet::new();
+    let mut duplicates = Vec::new();
+    let mut unknown = Vec::new();
+    for r in &recorded {
+        if !seen.insert(r.id.as_str()) {
+            duplicates.push(r.id.clone());
+        }
+        if !expected.contains(r.id.as_str()) {
+            unknown.push(r.id.clone());
+        }
+    }
+    let missing: Vec<String> = manifest
+        .jobs
+        .iter()
+        .filter(|j| !seen.contains(j.id.as_str()))
+        .map(|j| j.id.clone())
+        .collect();
+    Ok(VerifyReport {
+        expected: expected.len(),
+        recorded: seen.iter().filter(|id| expected.contains(**id)).count(),
+        missing,
+        unknown,
+        duplicates,
+    })
+}
+
+/// Per-group aggregate of a sweep's results: one row per job id with
+/// the `/s{seed}` segment stripped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupSummary {
+    /// The group key (job id minus seed).
+    pub group: String,
+    /// Seeds recorded.
+    pub seeds: usize,
+    /// Seeds that converged within budget.
+    pub converged: usize,
+    /// Distribution of interaction counts over *converged* seeds;
+    /// `None` when none converged.
+    pub steps: Option<DistSummary>,
+}
+
+/// Groups ledger results by [`group_of`] and summarizes each group's
+/// convergence-step distribution, sorted by group key.
+#[must_use]
+pub fn summarize(results: &[JobResult]) -> Vec<GroupSummary> {
+    let mut groups: Vec<(String, Vec<&JobResult>)> = Vec::new();
+    for r in results {
+        let key = group_of(&r.id);
+        match groups.iter_mut().find(|(g, _)| g == key) {
+            Some((_, members)) => members.push(r),
+            None => groups.push((key.to_string(), vec![r])),
+        }
+    }
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    groups
+        .into_iter()
+        .map(|(group, members)| {
+            let converged: Vec<f64> = members
+                .iter()
+                .filter(|r| r.converged)
+                .map(|r| r.steps as f64)
+                .collect();
+            GroupSummary {
+                group,
+                seeds: members.len(),
+                converged: converged.len(),
+                steps: DistSummary::of(&converged),
+            }
+        })
+        .collect()
+}
+
+/// Renders [`summarize`]'s rows as an aligned text table.
+#[must_use]
+pub fn summary_table(summaries: &[GroupSummary]) -> String {
+    let mut out = String::from(
+        "group                                    | conv  | mean steps   | p50          | p95\n",
+    );
+    out.push_str(
+        "-----------------------------------------|-------|--------------|--------------|-------------\n",
+    );
+    for s in summaries {
+        let (mean, p50, p95) = s.steps.map_or_else(
+            || ("-".to_string(), "-".to_string(), "-".to_string()),
+            |d| {
+                (
+                    format!("{:.1}", d.mean),
+                    format!("{:.0}", d.p50),
+                    format!("{:.0}", d.p95),
+                )
+            },
+        );
+        out.push_str(&format!(
+            "{:<40} | {:>2}/{:<2} | {:>12} | {:>12} | {:>12}\n",
+            s.group, s.converged, s.seeds, mean, p50, p95
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(id: &str, converged: bool, steps: u64) -> JobResult {
+        JobResult {
+            id: id.to_string(),
+            converged,
+            steps,
+            simulated: 16,
+        }
+    }
+
+    #[test]
+    fn ledger_lines_round_trip() {
+        let r = result("skno/rr4/n16/o1/s3", true, 123_456);
+        assert_eq!(parse_result(&render_result(&r)), Some(r));
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_and_repaired() {
+        let dir = std::env::temp_dir().join(format!("ppfts_sweep_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let good = render_result(&result("a/n2/s0", true, 10));
+        std::fs::write(&path, format!("{good}\n{{\"id\": \"a/n2/s1\", \"conv")).unwrap();
+        let loaded = load_ledger(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].id, "a/n2/s0");
+        // The file was rewritten to end on a clean line boundary.
+        let repaired = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(repaired, format!("{good}\n"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_ledger_is_empty() {
+        let path = std::env::temp_dir().join("ppfts_sweep_never_written.jsonl");
+        assert!(load_ledger(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn summarize_groups_by_id_minus_seed() {
+        let results = vec![
+            result("skno/rr4/n16/o0/s0", true, 100),
+            result("skno/rr4/n16/o0/s1", true, 300),
+            result("skno/rr4/n16/o0/s2", false, 999),
+            result("sid/ring/n16/s0", true, 50),
+        ];
+        let summaries = summarize(&results);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].group, "sid/ring/n16");
+        let skno = &summaries[1];
+        assert_eq!(skno.group, "skno/rr4/n16/o0");
+        assert_eq!((skno.seeds, skno.converged), (3, 2));
+        let d = skno.steps.unwrap();
+        assert_eq!((d.count, d.mean, d.min), (2, 200.0, 100.0));
+        let table = summary_table(&summaries);
+        assert!(table.contains("skno/rr4/n16/o0"));
+        assert!(table.contains("2/3"));
+    }
+
+    #[test]
+    fn summarize_handles_groups_with_no_convergence() {
+        let summaries = summarize(&[result("x/n2/s0", false, 7)]);
+        assert_eq!(summaries[0].steps, None);
+        assert!(summary_table(&summaries).contains('-'));
+    }
+}

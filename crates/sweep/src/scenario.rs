@@ -1,0 +1,118 @@
+//! From a [`Job`] to a result: dispatches each manifest family to the
+//! corresponding single-seed harness in `ppfts_bench` — the *same*
+//! workload bodies the `measure_*` aggregators and the committed bench
+//! baseline run, so orchestrated sweeps and ad-hoc experiment tables
+//! can never drift onto different dynamics.
+
+use ppfts_bench::{
+    epidemic_topology_run, named_pairing_run, sid_epidemic_graphical_run, sid_pairing_run,
+    skno_epidemic_graphical_run, skno_pairing_run,
+};
+use ppfts_engine::RunOutcome;
+
+use crate::manifest::{Family, Job};
+
+/// The outcome of one job, as recorded in the sweep ledger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// The job's ledger key.
+    pub id: String,
+    /// Whether the run converged within its budget.
+    pub converged: bool,
+    /// Engine interactions executed when the run stopped.
+    pub steps: u64,
+    /// The simulated-step denominator of the workload (`n` for
+    /// epidemics, `n/2` pairings for the Pairing workload).
+    pub simulated: u64,
+}
+
+/// Runs one job to completion on the current thread.
+///
+/// Deterministic in the job (topologies are generated with fixed seeds,
+/// runs with the job's seed), so a resumed sweep reproduces exactly the
+/// results a straight-through sweep would have written.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations (the manifest layer
+/// pre-validated sizes and axes); the orchestrator catches panics and
+/// reports the job as failed without writing a ledger entry.
+#[must_use]
+pub fn run_job(job: &Job) -> JobResult {
+    let topology = job
+        .topology
+        .map(|kind| kind.build(job.n).expect("expand() pre-validated the size"));
+    let (out, simulated): (RunOutcome, u64) = match job.family {
+        Family::Skno => skno_epidemic_graphical_run(
+            topology.as_ref().expect("graphical family has a topology"),
+            job.o,
+            job.rate,
+            job.seed,
+            job.budget,
+        ),
+        Family::Sid => sid_epidemic_graphical_run(
+            topology.as_ref().expect("graphical family has a topology"),
+            job.seed,
+            job.budget,
+        ),
+        Family::Epidemic => epidemic_topology_run(
+            topology.as_ref().expect("graphical family has a topology"),
+            job.seed,
+            job.budget,
+        ),
+        Family::SknoPairing => skno_pairing_run(job.n, job.o, job.seed, job.budget),
+        Family::SidPairing => sid_pairing_run(job.n, job.seed, job.budget),
+        Family::NamedPairing => named_pairing_run(job.n, job.seed, job.budget),
+    };
+    JobResult {
+        id: job.id.clone(),
+        converged: out.is_satisfied(),
+        steps: out.steps(),
+        simulated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::expand;
+
+    #[test]
+    fn every_family_runs_at_smoke_scale() {
+        let doc = r#"{
+            "name": "families",
+            "seeds": 1,
+            "budget": 400000,
+            "grids": [
+                {"family": "skno", "topology": "complete", "n": 16, "o": 0},
+                {"family": "sid", "topology": "ring", "n": 16},
+                {"family": "epidemic", "topology": "star", "n": 16},
+                {"family": "skno_pairing", "n": 8, "o": 1, "budget": 1000000},
+                {"family": "sid_pairing", "n": 8},
+                {"family": "named_pairing", "n": 8}
+            ]
+        }"#;
+        let manifest = expand(doc).unwrap();
+        assert_eq!(manifest.jobs.len(), 6);
+        for job in &manifest.jobs {
+            let result = run_job(job);
+            assert_eq!(result.id, job.id);
+            assert!(result.converged, "{} should converge at n = 16", job.id);
+            assert!(result.steps > 0);
+            assert!(result.simulated > 0);
+        }
+    }
+
+    #[test]
+    fn job_results_are_deterministic_in_the_job() {
+        let doc = r#"{"name": "det", "seeds": 2, "budget": 300000, "grids": [
+            {"family": "sid", "topology": "rr4", "n": 16}
+        ]}"#;
+        let manifest = expand(doc).unwrap();
+        let first: Vec<JobResult> = manifest.jobs.iter().map(run_job).collect();
+        let second: Vec<JobResult> = manifest.jobs.iter().map(run_job).collect();
+        // Step counts are batch-aligned, so distinct seeds may well
+        // coincide — determinism is the only contract here.
+        assert_eq!(first, second);
+    }
+}

@@ -28,9 +28,19 @@ use std::hint;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// One finished benchmark's measurements, in nanoseconds.
+struct Measurement {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    p50_ns: u128,
+    p95_ns: u128,
+    iters: u64,
+}
+
 /// Results accumulated by every [`Criterion`] in this process, flushed by
 /// [`criterion_main!`] through [`write_json_report`].
-static RESULTS: Mutex<Vec<(String, u128, u128, u64)>> = Mutex::new(Vec::new());
+static RESULTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
 
 /// Prevents the optimizer from discarding `value`.
 pub fn black_box<T>(value: T) -> T {
@@ -113,6 +123,7 @@ impl Criterion {
             total: Duration::ZERO,
             iters: 0,
             min: Duration::MAX,
+            durations: Vec::with_capacity(samples),
         };
         f(&mut bencher);
         match self.mode {
@@ -123,17 +134,20 @@ impl Criterion {
                 } else {
                     Duration::ZERO
                 };
+                let (p50, p95) = percentiles(&mut bencher.durations);
                 println!(
-                    "{id:<50} mean {:>12?}  min {:>12?}  ({} iters)",
-                    mean, bencher.min, bencher.iters
+                    "{id:<50} mean {:>12?}  min {:>12?}  p50 {:>12?}  p95 {:>12?}  ({} iters)",
+                    mean, bencher.min, p50, p95, bencher.iters
                 );
                 if bencher.iters > 0 {
-                    RESULTS.lock().expect("results poisoned").push((
-                        id.to_string(),
-                        mean.as_nanos(),
-                        bencher.min.as_nanos(),
-                        bencher.iters,
-                    ));
+                    RESULTS.lock().expect("results poisoned").push(Measurement {
+                        id: id.to_string(),
+                        mean_ns: mean.as_nanos(),
+                        min_ns: bencher.min.as_nanos(),
+                        p50_ns: p50.as_nanos(),
+                        p95_ns: p95.as_nanos(),
+                        iters: bencher.iters,
+                    });
                 }
             }
         }
@@ -197,6 +211,7 @@ pub struct Bencher {
     total: Duration,
     iters: u64,
     min: Duration,
+    durations: Vec<Duration>,
 }
 
 impl Bencher {
@@ -215,8 +230,23 @@ impl Bencher {
             if dt < self.min {
                 self.min = dt;
             }
+            self.durations.push(dt);
         }
     }
+}
+
+/// Nearest-rank (p50, p95) of the recorded samples; zeros on an empty
+/// sample set.
+fn percentiles(durations: &mut [Duration]) -> (Duration, Duration) {
+    if durations.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    durations.sort_unstable();
+    let rank = |p: f64| {
+        let r = (p * durations.len() as f64).ceil() as usize;
+        durations[r.clamp(1, durations.len()) - 1]
+    };
+    (rank(0.50), rank(0.95))
 }
 
 /// Identifier for one benchmark: a function name and/or parameter value.
@@ -288,9 +318,12 @@ fn parse_report_line(line: &str) -> Option<(String, String)> {
 /// by the `BENCH_JSON` environment variable (no-op when unset).
 ///
 /// The file is a flat JSON object `{"<bench id>": {"mean_ns": u64,
-/// "min_ns": u64, "iters": u64}}`. Entries from a previous run that this
-/// process did not re-measure are carried over, so the file accumulates a
-/// whole-workspace baseline across bench binaries.
+/// "min_ns": u64, "p50_ns": u64, "p95_ns": u64, "iters": u64}}` —
+/// consumers that predate the percentile fields (the regression gate's
+/// parser accepts and ignores unknown numeric fields) keep working.
+/// Entries from a previous run that this process did not re-measure are
+/// carried over verbatim (with or without percentiles), so the file
+/// accumulates a whole-workspace baseline across bench binaries.
 pub fn write_json_report() {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
@@ -302,10 +335,13 @@ pub fn write_json_report() {
     let mut entries: BTreeMap<String, String> = std::fs::read_to_string(&path)
         .map(|text| text.lines().filter_map(parse_report_line).collect())
         .unwrap_or_default();
-    for (id, mean, min, iters) in results.iter() {
+    for m in results.iter() {
         entries.insert(
-            id.clone(),
-            format!("{{\"mean_ns\": {mean}, \"min_ns\": {min}, \"iters\": {iters}}}"),
+            m.id.clone(),
+            format!(
+                "{{\"mean_ns\": {}, \"min_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"iters\": {}}}",
+                m.mean_ns, m.min_ns, m.p50_ns, m.p95_ns, m.iters
+            ),
         );
     }
     let mut out = String::from("{\n");
@@ -361,6 +397,33 @@ mod tests {
         assert_eq!(parse_report_line("{"), None);
         assert_eq!(parse_report_line("}"), None);
         assert_eq!(parse_report_line("  \"unterminated\": {"), None);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut one = vec![Duration::from_nanos(7)];
+        assert_eq!(
+            percentiles(&mut one),
+            (Duration::from_nanos(7), Duration::from_nanos(7))
+        );
+        let mut ten: Vec<Duration> = (1..=10).map(Duration::from_nanos).rev().collect();
+        let (p50, p95) = percentiles(&mut ten);
+        assert_eq!(p50, Duration::from_nanos(5));
+        assert_eq!(p95, Duration::from_nanos(10));
+        assert_eq!(percentiles(&mut []), (Duration::ZERO, Duration::ZERO));
+    }
+
+    #[test]
+    fn old_format_entries_carry_over_unchanged() {
+        // A pre-percentile baseline line must still parse (and would be
+        // preserved verbatim by write_json_report's carry-over path).
+        let line = "  \"old/bench\": {\"mean_ns\": 120, \"min_ns\": 100, \"iters\": 5},";
+        let (id, body) = parse_report_line(line).unwrap();
+        assert_eq!(id, "old/bench");
+        assert!(!body.contains("p50_ns"));
+        // And a new-format line parses the same way.
+        let line2 = "  \"new/bench\": {\"mean_ns\": 1, \"min_ns\": 1, \"p50_ns\": 1, \"p95_ns\": 2, \"iters\": 5}";
+        assert!(parse_report_line(line2).is_some());
     }
 
     #[test]

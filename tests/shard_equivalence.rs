@@ -1,0 +1,342 @@
+//! Sharded ↔ batched equivalence: for any seed, protocol, model,
+//! omission strategy, topology, batch size and shard count,
+//! `run_sharded(n, b)` must be *bit-identical* to `run_batched(n, b)` —
+//! same final `Configuration`, same `RunStats`, same step count, same
+//! RNG position — because the sharded path draws the identical
+//! (interaction, fault) batch sequentially and only parallelizes the
+//! *application*, over agent-disjoint levels with a deterministic merge.
+//!
+//! This is the contract that lets experiment harnesses turn on
+//! `builder.shards(k)` without changing any measured dynamics: the
+//! sequential batched path (itself certified against scalar `run` in
+//! `tests/batched_equivalence.rs`) stays the reference semantics.
+//!
+//! The suite also pins the *rejection* contract: assemblies that can
+//! never shard — count-backed populations, programs that declare
+//! `shard_safe() == false` — fail at build time with the typed
+//! [`EngineError::ShardIncompatible`], not at run time.
+//!
+//! RNG-position equality is certified by *continuation*: after the
+//! compared runs, both runners take the same number of additional
+//! scalar steps and must still agree bit-for-bit. Equal continuations
+//! from equal states imply equal RNG streams.
+//!
+//! CI runs this suite with `PROPTEST_CASES=32` on every push, plus a
+//! release-mode 1-vs-8-shard determinism leg.
+
+use proptest::prelude::*;
+
+use ppfts::core::Skno;
+use ppfts::engine::{
+    BoundedStrategy, EngineError, OneWayModel, OneWayProgram, OneWayRunner, RateStrategy, RunStats,
+    StatsOnly, TopologyScheduler, TwoWayModel, TwoWayRunner,
+};
+use ppfts::population::{Configuration, CountConfiguration, Topology};
+use ppfts::protocols::{MaxGossip, Pairing, PairingState};
+
+/// One-way epidemic: the reactor catches whatever the starter carries.
+struct Or;
+impl OneWayProgram for Or {
+    type State = bool;
+    fn on_receive(&self, s: &bool, r: &bool) -> bool {
+        *s || *r
+    }
+}
+
+fn one_way_model_strategy() -> impl Strategy<Value = OneWayModel> {
+    prop_oneof![
+        Just(OneWayModel::It),
+        Just(OneWayModel::Io),
+        Just(OneWayModel::I1),
+        Just(OneWayModel::I2),
+        Just(OneWayModel::I3),
+        Just(OneWayModel::I4),
+    ]
+}
+
+fn two_way_model_strategy() -> impl Strategy<Value = TwoWayModel> {
+    prop_oneof![
+        Just(TwoWayModel::Tw),
+        Just(TwoWayModel::T1),
+        Just(TwoWayModel::T2),
+        Just(TwoWayModel::T3),
+    ]
+}
+
+/// The ISSUE-mandated shard counts: degenerate, minimal, and oversubscribed
+/// (8 workers on this suite's small populations exceeds the widest level,
+/// exercising the worker-count clamp).
+fn shard_count_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2usize), Just(8usize)]
+}
+
+/// A topology of `n` vertices across every generator family, complete
+/// and restricted. `n` must make each family constructible (`n >= 4`,
+/// even, for the 3-regular graph).
+fn topology_of(n: usize, pick: u8, seed: u64) -> Topology {
+    match pick % 4 {
+        0 => Topology::complete(n).unwrap(),
+        1 => Topology::ring(n).unwrap(),
+        2 => Topology::star(n).unwrap(),
+        _ => Topology::random_regular(n, 3, seed).unwrap(),
+    }
+}
+
+type Snapshot<Q> = (Configuration<Q>, RunStats, u64);
+
+fn assert_equiv<Q: ppfts::population::State + std::fmt::Debug>(
+    batched: &Snapshot<Q>,
+    sharded: &Snapshot<Q>,
+    label: &str,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(
+        batched.0.as_slice(),
+        sharded.0.as_slice(),
+        "configuration diverged: {}",
+        label
+    );
+    prop_assert_eq!(batched.1, sharded.1, "stats diverged: {}", label);
+    prop_assert_eq!(batched.2, sharded.2, "step count diverged: {}", label);
+    Ok(())
+}
+
+proptest! {
+    /// One-way epidemic under every one-way model with a rate adversary,
+    /// at every mandated shard count — then both runners continue with
+    /// scalar steps, certifying the RNG stream position too.
+    #[test]
+    fn one_way_epidemic_sharded_equals_batched(
+        model in one_way_model_strategy(),
+        infected in prop::collection::vec(any::<bool>(), 2..24),
+        rate in 0u32..=100,
+        seed in 0u64..10_000,
+        steps in 0u64..600,
+        batch in 1u64..300,
+        shards in shard_count_strategy(),
+    ) {
+        let build = |shards: usize| OneWayRunner::builder(model, Or)
+            .config(Configuration::new(infected.clone()))
+            .adversary(RateStrategy::new(rate as f64 / 100.0))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let mut reference = build(1);
+        reference.run_batched(steps, batch).unwrap();
+        let mut subject = build(shards);
+        subject.run_sharded(steps, batch).unwrap();
+        assert_equiv(
+            &(reference.config().clone(), reference.stats(), reference.steps()),
+            &(subject.config().clone(), subject.stats(), subject.steps()),
+            "one-way epidemic",
+        )?;
+        // Continuation: equal states AND equal RNG positions keep the
+        // two runs in lockstep through further *scalar* stepping.
+        reference.run(64).unwrap();
+        subject.run(64).unwrap();
+        assert_equiv(
+            &(reference.config().clone(), reference.stats(), reference.steps()),
+            &(subject.config().clone(), subject.stats(), subject.steps()),
+            "epidemic continuation",
+        )?;
+    }
+
+    /// The SKnO simulator (heavy token-carrying states, hand-written
+    /// in-place hooks) under the omission-detecting models I3/I4 with a
+    /// bounded adversary: the workload the sharded path exists for.
+    #[test]
+    fn skno_sharded_equals_batched(
+        consumers in 1usize..6,
+        producers in 1usize..6,
+        o in 0u32..3,
+        i4 in any::<bool>(),
+        seed in 0u64..10_000,
+        steps in 0u64..400,
+        batch in 1u64..400,
+        shards in shard_count_strategy(),
+    ) {
+        let model = if i4 { OneWayModel::I4 } else { OneWayModel::I3 };
+        let sims: Vec<PairingState> = Pairing::initial(consumers, producers)
+            .as_slice()
+            .to_vec();
+        let build = |shards: usize| OneWayRunner::builder(model, Skno::new(Pairing, o))
+            .config(Skno::<Pairing>::initial(&sims))
+            .adversary(BoundedStrategy::new(0.05, o as u64))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let mut reference = build(1);
+        reference.run_batched(steps, batch).unwrap();
+        let mut subject = build(shards);
+        subject.run_sharded(steps, batch).unwrap();
+        prop_assert_eq!(reference.config().as_slice(), subject.config().as_slice());
+        prop_assert_eq!(reference.stats(), subject.stats());
+        prop_assert_eq!(reference.steps(), subject.steps());
+    }
+
+    /// Graphical SKnO on restricted and complete topologies: the
+    /// scheduler deals only graph arcs, the simulator carries
+    /// vertex-addressed states, and sharding must still be invisible.
+    #[test]
+    fn graphical_skno_on_topologies_sharded_equals_batched(
+        half in 2usize..7,
+        pick in any::<u8>(),
+        topo_seed in 0u64..1_000,
+        o in 0u32..3,
+        seed in 0u64..10_000,
+        steps in 0u64..300,
+        batch in 1u64..300,
+        shards in shard_count_strategy(),
+    ) {
+        let n = half * 2;
+        let topology = topology_of(n, pick, topo_seed);
+        let sims: Vec<PairingState> = Pairing::initial(n / 2, n - n / 2)
+            .as_slice()
+            .to_vec();
+        let build = |shards: usize| OneWayRunner::builder(
+                OneWayModel::I3,
+                Skno::graphical(Pairing, o, topology.clone()),
+            )
+            .config(Skno::<Pairing>::initial(&sims))
+            .scheduler(TopologyScheduler::new(topology.clone()))
+            .adversary(BoundedStrategy::new(0.05, o as u64))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let mut reference = build(1);
+        reference.run_batched(steps, batch).unwrap();
+        let mut subject = build(shards);
+        subject.run_sharded(steps, batch).unwrap();
+        prop_assert_eq!(reference.config().as_slice(), subject.config().as_slice());
+        prop_assert_eq!(reference.stats(), subject.stats());
+        prop_assert_eq!(reference.steps(), subject.steps());
+    }
+
+    /// Two-way protocols under every two-way model with a rate
+    /// adversary: the sharded path also covers the two-way runner.
+    #[test]
+    fn two_way_gossip_sharded_equals_batched(
+        model in two_way_model_strategy(),
+        values in prop::collection::vec(0u64..50, 2..16),
+        rate in 0u32..=100,
+        seed in 0u64..10_000,
+        steps in 0u64..400,
+        batch in 1u64..200,
+        shards in shard_count_strategy(),
+    ) {
+        let build = |shards: usize| TwoWayRunner::builder(model, MaxGossip)
+            .config(Configuration::new(values.clone()))
+            .adversary(RateStrategy::new(rate as f64 / 100.0))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let mut reference = build(1);
+        reference.run_batched(steps, batch).unwrap();
+        let mut subject = build(shards);
+        subject.run_sharded(steps, batch).unwrap();
+        prop_assert_eq!(reference.config().as_slice(), subject.config().as_slice());
+        prop_assert_eq!(reference.stats(), subject.stats());
+        prop_assert_eq!(reference.steps(), subject.steps());
+        // Continuation through the *sharded* path this time: a second
+        // sharded leg from the reached state must also agree.
+        reference.run_batched(steps, batch).unwrap();
+        subject.run_sharded(steps, batch).unwrap();
+        prop_assert_eq!(reference.config().as_slice(), subject.config().as_slice());
+        prop_assert_eq!(reference.stats(), subject.stats());
+    }
+
+    /// The predicate-driven driver: `run_sharded_until` stops at the
+    /// same step, with the same outcome and state, as
+    /// `run_batched_until` — predicates fire at identical batch
+    /// boundaries because the underlying streams are identical.
+    #[test]
+    fn run_sharded_until_matches_run_batched_until(
+        n in 3usize..24,
+        rate in 0u32..=50,
+        seed in 0u64..10_000,
+        max_steps in 0u64..4_000,
+        batch in 1u64..300,
+        shards in shard_count_strategy(),
+    ) {
+        let mut infected = vec![false; n];
+        infected[0] = true;
+        let build = |shards: usize| OneWayRunner::builder(OneWayModel::I3, Or)
+            .config(Configuration::new(infected.clone()))
+            .adversary(RateStrategy::new(rate as f64 / 100.0))
+            .seed(seed)
+            .trace_sink(StatsOnly)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let all = |c: &Configuration<bool>| c.as_slice().iter().all(|b| *b);
+        let mut reference = build(1);
+        let ref_outcome = reference.run_batched_until(max_steps, batch, all);
+        let mut subject = build(shards);
+        let sub_outcome = subject.run_sharded_until(max_steps, batch, all);
+        prop_assert_eq!(ref_outcome, sub_outcome);
+        prop_assert_eq!(reference.config().as_slice(), subject.config().as_slice());
+        prop_assert_eq!(reference.stats(), subject.stats());
+        prop_assert_eq!(reference.steps(), subject.steps());
+    }
+}
+
+/// Count-backed populations have no per-agent state slab to partition:
+/// `shards > 1` is a *build-time* type error, not a run-time surprise.
+#[test]
+fn sharding_rejects_count_backend_at_build() {
+    let built = OneWayRunner::builder(OneWayModel::Io, Or)
+        .population(CountConfiguration::from_groups([(true, 2), (false, 14)]))
+        .shards(2)
+        .build();
+    assert!(matches!(
+        built.err(),
+        Some(EngineError::ShardIncompatible { .. })
+    ));
+    // The same assembly with shards(1) builds fine — nothing to race.
+    assert!(OneWayRunner::builder(OneWayModel::Io, Or)
+        .population(CountConfiguration::from_groups([(true, 2), (false, 14)]))
+        .shards(1)
+        .build()
+        .is_ok());
+}
+
+/// Programs that opt out of sharding (interior mutability in their
+/// in-place hooks) are rejected at build time with the typed error.
+#[test]
+fn sharding_rejects_shard_unsafe_programs_at_build() {
+    struct Counting(std::cell::Cell<u64>);
+    impl OneWayProgram for Counting {
+        type State = bool;
+        fn on_receive(&self, s: &bool, r: &bool) -> bool {
+            self.0.set(self.0.get() + 1);
+            *s || *r
+        }
+        fn shard_safe(&self) -> bool {
+            false
+        }
+    }
+    let built = OneWayRunner::builder(OneWayModel::Io, Counting(std::cell::Cell::new(0)))
+        .config(Configuration::new(vec![true, false, false]))
+        .shards(8)
+        .build();
+    let err = built.err().unwrap();
+    assert!(matches!(err, EngineError::ShardIncompatible { .. }));
+    // The error message tells the user what to do instead.
+    assert!(err.to_string().contains("shards(1)"), "unhelpful: {err}");
+}
+
+/// `shards(0)` is a caller bug, caught eagerly at the builder.
+#[test]
+#[should_panic(expected = "shard")]
+fn zero_shards_panics_at_builder() {
+    let _ = OneWayRunner::builder(OneWayModel::Io, Or)
+        .config(Configuration::new(vec![true, false]))
+        .shards(0);
+}
