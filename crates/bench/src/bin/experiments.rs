@@ -1,4 +1,4 @@
-//! Runs the experiment suite (DESIGN.md E1–E16) and prints the
+//! Runs the experiment suite (DESIGN.md E1–E17) and prints the
 //! paper-claim-vs-measured tables recorded in EXPERIMENTS.md.
 //!
 //! Convergence measurements (E5, E7, E8) run on the engine's batched
@@ -16,7 +16,8 @@ use ppfts_bench::{
     e13_families, measure_epidemic_epoch, measure_epidemic_giant, measure_epidemic_giant_dense,
     measure_epidemic_topology, measure_named, measure_naming_phase, measure_sid,
     measure_sid_epidemic_graphical, measure_skno, measure_skno_epidemic_graphical,
-    skno_graphical_fixed_steps_sharded, skno_peak_tokens, E13_RR_DEGREE, E13_TOPOLOGY_SEED,
+    skno_epidemic_graphical_run_with, skno_graphical_fixed_steps_sharded, skno_peak_tokens,
+    E13_RR_DEGREE, E13_TOPOLOGY_SEED,
 };
 use ppfts_core::{fastest_transition_time, Sid, SidState, Skno, SknoState};
 use ppfts_engine::hierarchy::{direct_inclusions, includes};
@@ -39,9 +40,9 @@ struct Selection {
 
 impl Selection {
     /// The experiment ids this binary knows.
-    const KNOWN: [&'static str; 15] = [
+    const KNOWN: [&'static str; 16] = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e15",
-        "e16",
+        "e16", "e17",
     ];
 
     fn from_args() -> Self {
@@ -475,6 +476,52 @@ fn main() {
             "(identical `infected` across shard counts is the bit-identity contract; \
              speedup needs real cores — see EXPERIMENTS.md E16 and BENCH_RESULTS.json, \
              e16_shard/*)"
+        );
+    }
+
+    if selection.wants("e17") {
+        header(
+            "E17",
+            "Indexed simulation hot path: RunIndex vs scan-reference wall-clock",
+        );
+        let (n, budget): (usize, u64) = if selection.smoke {
+            (64, 2_000_000)
+        } else {
+            (1_024, 48_000_000)
+        };
+        let topology = Topology::complete(n).expect("n \u{2265} 2");
+        println!(
+            "graphical SKnO simulated epidemic, complete graph n = {n}, \
+             budget {budget} steps, seed 0 (identical outcomes asserted):"
+        );
+        println!(
+            "{:>4} | {:>12} | {:>12} | {:>8} | {:>12}",
+            "o", "indexed", "scan-ref", "speedup", "steps"
+        );
+        for o in [0u32, 1, 2] {
+            let start = std::time::Instant::now();
+            let fast = skno_epidemic_graphical_run_with(&topology, o, 0.02, 0, budget, true);
+            let fast_ms = start.elapsed().as_secs_f64() * 1e3;
+            let start = std::time::Instant::now();
+            let scan = skno_epidemic_graphical_run_with(&topology, o, 0.02, 0, budget, false);
+            let scan_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                fast, scan,
+                "indexed and scan-path runs must agree bit-for-bit"
+            );
+            println!(
+                "{:>4} | {:>9.2} ms | {:>9.2} ms | {:>7.2}\u{d7} | {:>12}",
+                o,
+                fast_ms,
+                scan_ms,
+                scan_ms / fast_ms,
+                fast.0.steps()
+            );
+        }
+        println!(
+            "(live bit-identity A/B on one seed; the committed complete/rr4/ring \
+             \u{d7} n = 256\u{2026}4096 wall-clock grid: BENCH_RESULTS.json, \
+             e17_simulator_hotpath/*)"
         );
     }
 

@@ -21,7 +21,7 @@
 
 pub mod regression;
 
-use ppfts_core::{project, NamedSid, NamedState, Sid, Skno, SknoState};
+use ppfts_core::{project, NamedSid, NamedState, Sid, SimulatorState, Skno, SknoState};
 use ppfts_engine::convergence::stably;
 use ppfts_engine::{
     run_seeds, BoundedStrategy, OneWayModel, OneWayRunner, RunOutcome, StatsOnly, TwoWayModel,
@@ -47,6 +47,34 @@ pub const STABLE_WINDOW: u64 = 2;
 /// for it, at a step-resolution cost that is negligible against the
 /// Θ(n log n) convergence times measured there.
 pub const GIANT_BATCH: u64 = 8192;
+
+/// Number of agents whose *simulated* state is `q` — the projection
+/// `π_P(C)` counted without materializing it. Behaviorally identical to
+/// `project(c).count_state(q)`, but allocation-free: the old phrasing
+/// built a full n-state configuration at every batch boundary, which the
+/// E17 hot-path analysis found to be a measurable slice of the simulator
+/// harness wall-clock (hundreds of milliseconds per budget-capped cell).
+fn simulated_count<S: SimulatorState + ppfts_population::State>(
+    config: &Configuration<S>,
+    q: &S::Simulated,
+) -> usize {
+    config
+        .as_slice()
+        .iter()
+        .filter(|s| s.simulated() == q)
+        .count()
+}
+
+/// Whether *every* agent's simulated state is `q` — equivalent to
+/// `simulated_count(c, q) == n` but with the early exit the full-count
+/// phrasing cannot have: far from convergence the scan stops at the first
+/// counterexample, so the boundary check costs O(1) for most of a run.
+fn all_simulated<S: SimulatorState + ppfts_population::State>(
+    config: &Configuration<S>,
+    q: &S::Simulated,
+) -> bool {
+    config.as_slice().iter().all(|s| s.simulated() == q)
+}
 
 /// Convergence measurement of one simulator configuration, aggregated
 /// over seeds.
@@ -99,7 +127,7 @@ pub fn sid_pairing_run(n: usize, seed: u64, budget: u64) -> (RunOutcome, u64) {
         budget,
         BATCH,
         stably(
-            |c| project(c).count_state(&PairingState::Paired) == expected,
+            |c| simulated_count(c, &PairingState::Paired) == expected,
             STABLE_WINDOW,
         ),
     );
@@ -128,7 +156,7 @@ pub fn skno_pairing_run(n: usize, o: u32, seed: u64, budget: u64) -> (RunOutcome
         budget,
         BATCH,
         stably(
-            |c| project(c).count_state(&PairingState::Paired) == expected,
+            |c| simulated_count(c, &PairingState::Paired) == expected,
             STABLE_WINDOW,
         ),
     );
@@ -183,7 +211,7 @@ pub fn named_pairing_run(n: usize, seed: u64, budget: u64) -> (RunOutcome, u64) 
         budget,
         BATCH,
         stably(
-            |c| project(c).count_state(&PairingState::Paired) == expected,
+            |c| simulated_count(c, &PairingState::Paired) == expected,
             STABLE_WINDOW,
         ),
     );
@@ -455,7 +483,7 @@ pub fn sid_epidemic_graphical_run(
             .expect("graphical SID assembles on its own topology");
     // Simulated infection is monotone, so one boundary confirmation
     // suffices.
-    let out = runner.run_batched_until(budget, BATCH, |c| project(c).count_state(&true) == n);
+    let out = runner.run_batched_until(budget, BATCH, |c| all_simulated(c, &true));
     (out, n as u64)
 }
 
@@ -493,20 +521,36 @@ pub fn skno_epidemic_graphical_run(
     seed: u64,
     budget: u64,
 ) -> (RunOutcome, u64) {
+    skno_epidemic_graphical_run_with(topology, o, rate, seed, budget, true)
+}
+
+/// [`skno_epidemic_graphical_run`] with the simulator path explicit:
+/// `indexed = false` runs the same workload through the scan-path
+/// reference (`Skno::scan_reference`). The outcome is bit-identical
+/// either way — `tests/simulator_index_equivalence.rs` certifies it, and
+/// the E17 harness re-asserts it live — so the A/B difference is pure
+/// wall-clock.
+pub fn skno_epidemic_graphical_run_with(
+    topology: &Topology,
+    o: u32,
+    rate: f64,
+    seed: u64,
+    budget: u64,
+    indexed: bool,
+) -> (RunOutcome, u64) {
     let n = topology.len();
     let sims: Vec<bool> = (0..n).map(|v| v == 0).collect();
-    let mut runner = OneWayRunner::builder(
-        OneWayModel::I3,
-        Skno::graphical(Epidemic, o, topology.clone()),
-    )
-    .config(Skno::<Epidemic>::initial(&sims))
-    .topology(topology.clone())
-    .adversary(BoundedStrategy::new(rate, o as u64))
-    .seed(seed)
-    .trace_sink(StatsOnly)
-    .build()
-    .expect("graphical SKnO assembles on its own topology");
-    let out = runner.run_batched_until(budget, BATCH, |c| project(c).count_state(&true) == n);
+    let skno = Skno::graphical(Epidemic, o, topology.clone());
+    let skno = if indexed { skno } else { skno.scan_reference() };
+    let mut runner = OneWayRunner::builder(OneWayModel::I3, skno)
+        .config(Skno::<Epidemic>::initial(&sims))
+        .topology(topology.clone())
+        .adversary(BoundedStrategy::new(rate, o as u64))
+        .seed(seed)
+        .trace_sink(StatsOnly)
+        .build()
+        .expect("graphical SKnO assembles on its own topology");
+    let out = runner.run_batched_until(budget, BATCH, |c| all_simulated(c, &true));
     (out, n as u64)
 }
 

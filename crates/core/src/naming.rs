@@ -168,7 +168,9 @@ impl<P: TwoWayProtocol> NamedSid<P> {
     /// handshake pairs exactly the two agents of a physical meeting, and
     /// the builder's topology negotiation pins physical meetings to the
     /// graph's arcs, so every simulated interaction is automatically an
-    /// edge of `topology`.
+    /// edge of `topology`. (This also means the inner `SID` is always
+    /// constructed topology-free and takes the non-filtering fast path
+    /// of its adjacency guard unconditionally.)
     ///
     /// **Caveat — naming needs collisions to happen.** The `Nn` rule
     /// only separates two same-named agents when they *meet*; Lemma 3's

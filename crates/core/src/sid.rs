@@ -68,7 +68,11 @@ pub struct SidState<Q> {
     phase: SidPhase,
     other_id: Option<u64>,
     other_state: Option<Q>,
-    commit: Option<Commit<Q>>,
+    /// Ghost commit log head, boxed: it is written only on the two commit
+    /// arms and read only by verification, so keeping it behind a pointer
+    /// keeps the state the handshake actually touches within one cache
+    /// line for small `Q`.
+    commit: Option<Box<Commit<Q>>>,
     commits: u64,
 }
 
@@ -151,6 +155,11 @@ pub struct Sid<P> {
     protocol: P,
     rollback: RollbackPolicy,
     topology: Option<Arc<Topology>>,
+    /// Precomputed "the graph actually restricts something": lets the
+    /// per-observation adjacency guards short-circuit without touching
+    /// the topology at all in anonymous and complete-graph runs — the
+    /// hot path of every `SID` step at scale.
+    filtering: bool,
 }
 
 /// Whether the lines 14–16 rollback of Figure 3 is active (DESIGN.md
@@ -175,6 +184,7 @@ impl<P: TwoWayProtocol> Sid<P> {
             protocol,
             rollback: RollbackPolicy::Enabled,
             topology: None,
+            filtering: false,
         }
     }
 
@@ -185,6 +195,7 @@ impl<P: TwoWayProtocol> Sid<P> {
             protocol,
             rollback,
             topology: None,
+            filtering: false,
         }
     }
 
@@ -205,10 +216,12 @@ impl<P: TwoWayProtocol> Sid<P> {
     /// is bit-identical (states and RNG stream) to [`Sid::new`];
     /// `tests/topology_equivalence.rs` certifies it.
     pub fn graphical(protocol: P, topology: Topology) -> Self {
+        let filtering = !topology.is_complete();
         Sid {
             protocol,
             rollback: RollbackPolicy::Enabled,
             topology: Some(Arc::new(topology)),
+            filtering,
         }
     }
 
@@ -219,10 +232,17 @@ impl<P: TwoWayProtocol> Sid<P> {
 
     /// Whether two protocol IDs may simulate an interaction: graph
     /// adjacency of their vertices in graphical mode, always otherwise.
+    /// The cached `filtering` flag keeps anonymous and complete-graph
+    /// runs from paying the topology lookup (`contains_arc` on the
+    /// complete graph is constant-true, but reaching it is not free).
+    #[inline]
     fn adjacent(&self, a: u64, b: u64) -> bool {
-        self.topology
-            .as_deref()
-            .is_none_or(|t| t.contains_arc(a as usize, b as usize))
+        !self.filtering
+            || self
+                .topology
+                .as_deref()
+                .expect("filtering implies a bound topology")
+                .contains_arc(a as usize, b as usize)
     }
 
     /// The rollback policy in force.
@@ -272,12 +292,12 @@ impl<P: TwoWayProtocol> Sid<P> {
                 r2.other_id = Some(s.id);
                 r2.other_state = Some(s.sim.clone());
                 r2.sim = self.protocol.starter_out(&r.sim, &s.sim);
-                r2.commit = Some(Commit {
+                r2.commit = Some(Box::new(Commit {
                     role: Role::Starter,
                     partner: s.sim.clone(),
                     partner_id: Some(s.id),
                     seq: r2.commits,
-                });
+                }));
                 r2.commits += 1;
             }
             // Lines 10–13: the reactor of the simulated interaction
@@ -295,12 +315,12 @@ impl<P: TwoWayProtocol> Sid<P> {
                 r2.phase = SidPhase::Available;
                 r2.other_id = None;
                 r2.other_state = None;
-                r2.commit = Some(Commit {
+                r2.commit = Some(Box::new(Commit {
                     role: Role::Reactor,
                     partner: q_s,
                     partner_id: Some(s.id),
                     seq: r2.commits,
-                });
+                }));
                 r2.commits += 1;
             }
             // Lines 14–16: rollback — the tracked partner has moved on.
@@ -349,12 +369,12 @@ impl<P: TwoWayProtocol> Sid<P> {
                 r.other_id = Some(s.id);
                 r.other_state = Some(s.sim.clone());
                 r.sim = sim;
-                r.commit = Some(Commit {
+                r.commit = Some(Box::new(Commit {
                     role: Role::Starter,
                     partner: s.sim.clone(),
                     partner_id: Some(s.id),
                     seq: r.commits,
-                });
+                }));
                 r.commits += 1;
                 true
             }
@@ -372,12 +392,12 @@ impl<P: TwoWayProtocol> Sid<P> {
                 r.sim = self.protocol.reactor_out(&q_s, &r.sim);
                 r.phase = SidPhase::Available;
                 r.other_id = None;
-                r.commit = Some(Commit {
+                r.commit = Some(Box::new(Commit {
                     role: Role::Reactor,
                     partner: q_s,
                     partner_id: Some(s.id),
                     seq: r.commits,
-                });
+                }));
                 r.commits += 1;
                 true
             }
@@ -440,7 +460,7 @@ impl<Q: State> SimulatorState for SidState<Q> {
     }
 
     fn last_commit(&self) -> Option<&Commit<Q>> {
-        self.commit.as_ref()
+        self.commit.as_deref()
     }
 
     fn protocol_id(&self) -> Option<u64> {

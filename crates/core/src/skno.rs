@@ -162,6 +162,395 @@ impl<Q: Clone> RunKeyRef<'_, Q> {
     }
 }
 
+impl<Q: PartialEq> RunKey<Q> {
+    /// Whether this owned key names the same run as a borrowed key.
+    fn matches(&self, key: &RunKeyRef<'_, Q>) -> bool {
+        match (self, key) {
+            (RunKey::Plain(o1, q1), RunKeyRef::Plain(o2, q2)) => o1 == o2 && q1 == *q2,
+            (RunKey::Change(o1, t1, s1, r1), RunKeyRef::Change(o2, t2, s2, r2)) => {
+                o1 == o2 && t1 == t2 && s1 == *s2 && r1 == *r2
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Queue positions stored inline in [`TokenQueue`] before spilling to the
+/// heap. A fresh announcement fill enqueues `o + 1` tokens, so any
+/// `o ≤ 3` — every benched and tested bound — runs entirely inline.
+const INLINE_TOKENS: usize = 4;
+
+/// The sending queue, laid out for the simulation hot path: the first
+/// [`INLINE_TOKENS`] positions live inside the agent state itself (one
+/// cache line away from the fields every step reads), and only longer
+/// queues touch a heap `VecDeque`. E13's queue census measures complete-
+/// graph steady state at 1.4–3.0 queued tokens, so the spill is cold; the
+/// random-access pattern of the scheduler makes the pointer chase to a
+/// per-agent heap buffer the single most expensive load of a step, which
+/// is exactly what this layout removes.
+///
+/// Invariant: positions `0..len.min(INLINE_TOKENS)` are the `Some`s of
+/// `head` (front first), positions `INLINE_TOKENS..len` sit in `spill`
+/// (front first).
+#[derive(Clone, Debug)]
+#[repr(C)]
+struct TokenQueue<Q> {
+    /// Total queued tokens (inline + spilled). First field on purpose:
+    /// the emptiness check and the head peek then share the state's
+    /// leading cache line (`repr(C)` pins the order).
+    len: u32,
+    /// The first queue positions, front first; `None` past `len`.
+    head: [Option<Token<Q>>; INLINE_TOKENS],
+    /// Queue positions `INLINE_TOKENS..`, front first.
+    spill: VecDeque<Token<Q>>,
+}
+
+impl<Q> Default for TokenQueue<Q> {
+    fn default() -> Self {
+        TokenQueue {
+            len: 0,
+            head: std::array::from_fn(|_| None),
+            spill: VecDeque::new(),
+        }
+    }
+}
+
+impl<Q> TokenQueue<Q> {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The head token (next to transmit), if any.
+    fn front(&self) -> Option<&Token<Q>> {
+        self.head[0].as_ref()
+    }
+
+    /// Appends a token at the back.
+    fn push_back(&mut self, token: Token<Q>) {
+        let at = self.len as usize;
+        if at < INLINE_TOKENS {
+            self.head[at] = Some(token);
+        } else {
+            self.spill.push_back(token);
+        }
+        self.len += 1;
+    }
+
+    /// Pops the head token, refilling the freed inline slot from the
+    /// spill.
+    fn pop_front(&mut self) -> Option<Token<Q>> {
+        let token = self.head[0].take()?;
+        self.head.rotate_left(1);
+        if let Some(promoted) = self.spill.pop_front() {
+            self.head[INLINE_TOKENS - 1] = Some(promoted);
+        }
+        self.len -= 1;
+        Some(token)
+    }
+
+    /// Removes the token at queue position `pos` (0 = front), preserving
+    /// the order of the rest.
+    fn remove(&mut self, pos: usize) -> Option<Token<Q>> {
+        if pos >= self.len as usize {
+            return None;
+        }
+        if pos >= INLINE_TOKENS {
+            let token = self.spill.remove(pos - INLINE_TOKENS);
+            self.len -= 1;
+            return token;
+        }
+        let token = self.head[pos].take()?;
+        self.head[pos..].rotate_left(1);
+        if let Some(promoted) = self.spill.pop_front() {
+            self.head[INLINE_TOKENS - 1] = Some(promoted);
+        }
+        self.len -= 1;
+        Some(token)
+    }
+
+    /// The queued tokens, front first.
+    fn iter(&self) -> impl Iterator<Item = &Token<Q>> + Clone {
+        // The `Some`s of `head` are exactly its populated prefix.
+        self.head.iter().flatten().chain(self.spill.iter())
+    }
+}
+
+impl<Q: PartialEq> PartialEq for TokenQueue<Q> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<Q: Eq> Eq for TokenQueue<Q> {}
+
+impl<Q: std::hash::Hash> std::hash::Hash for TokenQueue<Q> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        for token in self.iter() {
+            token.hash(state);
+        }
+    }
+}
+
+impl<Q> FromIterator<Token<Q>> for TokenQueue<Q> {
+    fn from_iter<I: IntoIterator<Item = Token<Q>>>(iter: I) -> Self {
+        let mut queue = TokenQueue::new();
+        for token in iter {
+            queue.push_back(token);
+        }
+        queue
+    }
+}
+
+/// Incremental census of a sending queue: per run key, the multiplicity
+/// of every run position, plus the queue's joker supply.
+///
+/// The reactor procedure's three per-step scans ([`Skno::find_run`] for
+/// the own-run cancel, [`Skno::plan_best`] for the plain and change
+/// branches) each walk the whole queue only to discover — almost every
+/// step — that nothing completes. The index answers exactly that
+/// *existence* question in O(distinct keys) integer compares, maintained
+/// in O(1) per token push/pop; the scans still run, unchanged, whenever
+/// the index certifies a completion exists, so the winning run, its
+/// tie-breaking, and the constructed plan are the reference code's own.
+///
+/// Invariants while `built` (checked against a fresh census by
+/// `assert_matches` in test/debug builds):
+/// * `jokers` = number of [`Token::Joker`] in the queue;
+/// * for every key with at least one queued token, exactly one entry,
+///   whose `counts[i-1]` is the number of queued tokens `⟨key, i⟩` and
+///   whose `distinct` is the number of nonzero `counts` slots;
+/// * no entry with `distinct == 0`.
+///
+/// Entry order is deliberately meaningless — winner selection is always
+/// delegated to the scan path. The index is rebuilt lazily (`built` is
+/// cleared) after a completion consumes tokens mid-queue; completions
+/// are roughly once per simulated interaction, against queue pushes and
+/// existence queries every step. Tokens whose run position exceeds the
+/// indexed run length cannot arise from execution (minting is always
+/// `1..=o+1`) and are not tracked.
+#[derive(Clone, Debug)]
+struct RunIndex<Q> {
+    /// Whether the census is live; `false` means "rebuild before use".
+    built: bool,
+    /// The run length (`o + 1`) the census was built for.
+    run_len: u32,
+    /// Jokers currently in the queue.
+    jokers: u32,
+    /// The inline entry slot: steady-state queues hold tokens of a single
+    /// announcement (a fill enqueues `o + 1` tokens of one key), so the
+    /// census usually fits here, inside the agent state — no heap hop on
+    /// the per-step push/check path. Order is meaningless (see above), so
+    /// any entry may occupy the slot.
+    first: Option<IndexEntry<Q>>,
+    /// Further distinct keys, heap-spilled (rare).
+    more: Vec<IndexEntry<Q>>,
+}
+
+// Manual impl: `Q: Default` must not be required (derive would add it).
+impl<Q> Default for RunIndex<Q> {
+    fn default() -> Self {
+        RunIndex {
+            built: false,
+            run_len: 0,
+            jokers: 0,
+            first: None,
+            more: Vec::new(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct IndexEntry<Q> {
+    key: RunKey<Q>,
+    /// Multiplicity of each run position `1..=run_len` (0-indexed).
+    counts: PosCounts,
+    /// Number of nonzero `counts` slots.
+    distinct: u32,
+}
+
+/// Per-position multiplicities of one run key: inline for any
+/// `run_len ≤ INLINE_TOKENS` (all benched and tested bounds), heap for
+/// astronomically long runs — same rationale as [`TokenQueue`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum PosCounts {
+    Small([u32; INLINE_TOKENS]),
+    Large(Vec<u32>),
+}
+
+impl PosCounts {
+    fn new(run_len: u32) -> Self {
+        if run_len as usize <= INLINE_TOKENS {
+            PosCounts::Small([0; INLINE_TOKENS])
+        } else {
+            PosCounts::Large(vec![0; run_len as usize])
+        }
+    }
+
+    /// Bumps position `idx` and returns its new multiplicity.
+    fn incr(&mut self, idx: usize) -> u32 {
+        let slot = match self {
+            PosCounts::Small(counts) => &mut counts[idx],
+            PosCounts::Large(counts) => &mut counts[idx],
+        };
+        *slot += 1;
+        *slot
+    }
+
+    /// Drops position `idx` and returns its new multiplicity.
+    fn decr(&mut self, idx: usize) -> u32 {
+        let slot = match self {
+            PosCounts::Small(counts) => &mut counts[idx],
+            PosCounts::Large(counts) => &mut counts[idx],
+        };
+        *slot -= 1;
+        *slot
+    }
+}
+
+impl<Q: Clone + PartialEq> RunIndex<Q> {
+    /// The census entries, in meaningless order.
+    fn entries(&self) -> impl Iterator<Item = &IndexEntry<Q>> {
+        self.first.iter().chain(self.more.iter())
+    }
+
+    /// Rebuilds the census from scratch for the given run length.
+    fn rebuild(&mut self, queue: &TokenQueue<Q>, run_len: u32) {
+        self.built = true;
+        self.run_len = run_len;
+        self.jokers = 0;
+        self.first = None;
+        self.more.clear();
+        for token in queue.iter() {
+            self.note_push(token);
+        }
+    }
+
+    /// Accounts for a token appended to the queue.
+    fn note_push(&mut self, token: &Token<Q>) {
+        let Some((key, i)) = token.key_ref() else {
+            self.jokers += 1;
+            return;
+        };
+        debug_assert!(i >= 1, "run positions are 1-based");
+        let idx = (i - 1) as usize;
+        if idx >= self.run_len as usize {
+            return; // unreachable from execution; see the type docs
+        }
+        let found = self
+            .first
+            .iter_mut()
+            .chain(self.more.iter_mut())
+            .find(|e| e.key.matches(&key));
+        match found {
+            Some(entry) => {
+                if entry.counts.incr(idx) == 1 {
+                    entry.distinct += 1;
+                }
+            }
+            None => {
+                let mut counts = PosCounts::new(self.run_len);
+                counts.incr(idx);
+                let entry = IndexEntry {
+                    key: key.to_owned(),
+                    counts,
+                    distinct: 1,
+                };
+                if self.first.is_none() {
+                    self.first = Some(entry);
+                } else {
+                    self.more.push(entry);
+                }
+            }
+        }
+    }
+
+    /// Accounts for a token removed from the queue.
+    fn note_remove(&mut self, token: &Token<Q>) {
+        let Some((key, i)) = token.key_ref() else {
+            self.jokers -= 1;
+            return;
+        };
+        let idx = (i - 1) as usize;
+        if idx >= self.run_len as usize {
+            return;
+        }
+        if let Some(entry) = self.first.as_mut().filter(|e| e.key.matches(&key)) {
+            if entry.counts.decr(idx) == 0 {
+                entry.distinct -= 1;
+                if entry.distinct == 0 {
+                    // Refill the inline slot from the spill (any entry
+                    // may sit there — order is meaningless).
+                    self.first = self.more.pop();
+                }
+            }
+        } else if let Some(pos) = self.more.iter().position(|e| e.key.matches(&key)) {
+            let entry = &mut self.more[pos];
+            if entry.counts.decr(idx) == 0 {
+                entry.distinct -= 1;
+                if entry.distinct == 0 {
+                    self.more.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Whether `entry`'s run can complete: at least one real token, and
+    /// jokers covering every missing position — exactly the condition
+    /// [`Skno::find_run`]'s census pass checks.
+    fn completable(&self, entry: &IndexEntry<Q>) -> bool {
+        entry.distinct >= 1 && self.jokers >= self.run_len - entry.distinct
+    }
+
+    /// Whether any completable run's key passes `filter` — the O(keys)
+    /// existence check gating the scan path.
+    fn has_completable(&self, mut filter: impl FnMut(&RunKey<Q>) -> bool) -> bool {
+        self.entries()
+            .any(|e| self.completable(e) && filter(&e.key))
+    }
+
+    /// Canary against silent index drift: asserts the maintained census
+    /// agrees with a fresh one over the queue.
+    #[cfg(any(test, debug_assertions))]
+    fn assert_matches(&self, queue: &TokenQueue<Q>, run_len: u32)
+    where
+        Q: std::fmt::Debug,
+    {
+        assert!(self.built, "cross-checking an unbuilt index");
+        assert_eq!(self.run_len, run_len, "index built for a different bound");
+        let mut fresh = RunIndex::default();
+        fresh.rebuild(queue, run_len);
+        assert_eq!(self.jokers, fresh.jokers, "joker tally drifted");
+        assert_eq!(
+            self.entries().count(),
+            fresh.entries().count(),
+            "key census drifted: {:?} vs fresh {:?}",
+            self.entries().collect::<Vec<_>>(),
+            fresh.entries().collect::<Vec<_>>()
+        );
+        for e in fresh.entries() {
+            let kept = self
+                .entries()
+                .find(|k| k.key == e.key)
+                .unwrap_or_else(|| panic!("key {:?} missing from the index", e.key));
+            assert_eq!(kept.counts, e.counts, "counts drifted for {:?}", e.key);
+            assert_eq!(
+                kept.distinct, e.distinct,
+                "distinct drifted for {:?}",
+                e.key
+            );
+        }
+    }
+}
+
 /// A run-completion plan: queue positions to consume, plus the token
 /// identities any jokers stand in for.
 type RunPlan<Q> = (Vec<usize>, Vec<Token<Q>>);
@@ -196,14 +585,29 @@ fn token_of<Q: Clone>(key: &RunKeyRef<'_, Q>, index: u32) -> Token<Q> {
 /// (the commit log exposed through [`SimulatorState`]) are excluded, since
 /// they never influence the dynamics. This keeps state-space exploration
 /// (FTT search, model checking) finite.
+/// Field order is load-bearing for the hot path (`repr(C)` pins it): the
+/// flags and the inline queue head — everything a fault-free step reads —
+/// sit in the state's first cache line, the incremental census follows,
+/// and the rarely-touched spill/ghost fields trail. Combined with the
+/// inline-first [`TokenQueue`] and [`RunIndex`], a steady-state
+/// interaction touches only the two endpoint states themselves: no
+/// per-agent heap pointers to chase, which is what makes the engine's
+/// batch-prefetch effective.
 #[derive(Clone, Debug)]
+#[repr(C)]
 pub struct SknoState<Q> {
-    sim: Q,
     site: u32,
     pending: bool,
-    sending: VecDeque<Token<Q>>,
+    sim: Q,
+    sending: TokenQueue<Q>,
+    /// Incremental census of `sending` (derived data — excluded from
+    /// equality and hashing like the ghost fields below; rebuilt on
+    /// demand whenever stale).
+    index: RunIndex<Q>,
     owed: Vec<Token<Q>>,
-    commit: Option<Commit<Q>>,
+    /// Ghost verification field, boxed: written once per (rare) commit,
+    /// read only by audits — not worth widening every state for.
+    commit: Option<Box<Commit<Q>>>,
     commits: u64,
 }
 
@@ -247,8 +651,9 @@ impl<Q: State> SknoState<Q> {
             sim: q,
             site,
             pending: false,
-            sending: VecDeque::new(),
+            sending: TokenQueue::new(),
             owed: Vec::new(),
+            index: RunIndex::default(),
             commit: None,
             commits: 0,
         }
@@ -303,9 +708,34 @@ impl<Q: State> SknoState<Q> {
             pending,
             sending: tokens.into_iter().collect(),
             owed: Vec::new(),
+            index: RunIndex::default(),
             commit: None,
             commits: 0,
         }
+    }
+
+    /// Appends a token to the sending queue, keeping the incremental
+    /// census in sync when it is live. **Every** queue append inside this
+    /// module goes through here (or invalidates the index): pushing to
+    /// `sending` directly while the index is built would silently desync
+    /// it — the debug cross-check in the reactor procedure exists to
+    /// catch exactly that.
+    fn push_token(&mut self, token: Token<Q>) {
+        if self.index.built {
+            self.index.note_push(&token);
+        }
+        self.sending.push_back(token);
+    }
+
+    /// Pops the head token, keeping the incremental census in sync.
+    fn pop_token(&mut self) -> Option<Token<Q>> {
+        let token = self.sending.pop_front();
+        if self.index.built {
+            if let Some(t) = &token {
+                self.index.note_remove(t);
+            }
+        }
+        token
     }
 
     /// The tokens currently queued for sending, head first.
@@ -348,6 +778,11 @@ pub struct Skno<P> {
     bookkeeping: JokerBookkeeping,
     topology: Option<Arc<Topology>>,
     addressed: bool,
+    indexed: bool,
+    /// Precomputed [`Skno::filtering`]: the adjacency/addressing guards
+    /// consult it several times per interaction, and recomputing it
+    /// means an `Arc` deref plus a repr match on every call.
+    filtering: bool,
 }
 
 /// How `SKnO` accounts for joker substitutions (DESIGN.md ablation D1).
@@ -375,6 +810,8 @@ impl<P: TwoWayProtocol> Skno<P> {
             bookkeeping: JokerBookkeeping::Rummy,
             topology: None,
             addressed: true,
+            indexed: true,
+            filtering: false,
         }
     }
 
@@ -391,6 +828,8 @@ impl<P: TwoWayProtocol> Skno<P> {
             bookkeeping,
             topology: None,
             addressed: true,
+            indexed: true,
+            filtering: false,
         }
     }
 
@@ -445,12 +884,15 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn graphical(protocol: P, omission_bound: u32, topology: Topology) -> Self {
+        let filtering = !topology.is_complete();
         Skno {
             protocol,
             bound: omission_bound,
             bookkeeping: JokerBookkeeping::Rummy,
             topology: Some(Arc::new(topology)),
             addressed: true,
+            indexed: true,
+            filtering,
         }
     }
 
@@ -466,12 +908,15 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// static analyzer's self-test can *rediscover* that deadlock; never
     /// use it for measurements.
     pub fn graphical_unaddressed(protocol: P, omission_bound: u32, topology: Topology) -> Self {
+        let filtering = !topology.is_complete();
         Skno {
             protocol,
             bound: omission_bound,
             bookkeeping: JokerBookkeeping::Rummy,
             topology: Some(Arc::new(topology)),
             addressed: false,
+            indexed: true,
+            filtering,
         }
     }
 
@@ -491,8 +936,9 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// actually restricts something (the complete graph does not, and
     /// skipping the filter there is what keeps the complete instance
     /// bit-identical to anonymous `SKnO`).
+    #[inline]
     fn filtering(&self) -> bool {
-        self.topology.as_deref().is_some_and(|t| !t.is_complete())
+        self.filtering
     }
 
     /// The origin to mint on tokens announced by the agent at `site`.
@@ -507,11 +953,14 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// Whether the agent at `site` may complete a run announced from
     /// `origin` — graph adjacency in graphical mode, always in anonymous
     /// mode.
+    #[inline]
     fn neighbor_ok(&self, origin: u32, site: u32) -> bool {
-        match self.topology.as_deref() {
-            Some(t) if !t.is_complete() => t.contains_arc(origin as usize, site as usize),
-            _ => true,
-        }
+        !self.filtering
+            || self
+                .topology
+                .as_deref()
+                .expect("filtering implies a bound topology")
+                .contains_arc(origin as usize, site as usize)
     }
 
     /// Whether the agent at `site` is the addressee of a change run with
@@ -522,6 +971,35 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// drops the check — the seeded deadlock the analyzer must catch.
     fn change_addressed(&self, target: u32, site: u32) -> bool {
         !self.filtering() || !self.addressed || target == site
+    }
+
+    /// Disables the incremental run index: every reactor check runs the
+    /// full queue scans, as the pre-index implementation did.
+    ///
+    /// The scan path is the **reference semantics** — the index is an
+    /// existence cache in front of it, certified bit-identical (states
+    /// *and* RNG stream, which the simulator never touches) by
+    /// `tests/simulator_index_equivalence.rs`. Keep this variant for
+    /// differential tests; measurements should use the default.
+    #[must_use]
+    pub fn scan_reference(mut self) -> Self {
+        self.indexed = false;
+        self
+    }
+
+    /// Whether the incremental run index is in force (default) or every
+    /// check scans the queue ([`scan_reference`](Skno::scan_reference)).
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
+    }
+
+    /// Rebuilds the agent's queue census if it is stale (fresh state,
+    /// post-completion, or built for a different bound).
+    fn ensure_index(&self, r: &mut SknoState<P::State>) {
+        let len = self.run_len();
+        if !r.index.built || r.index.run_len != len {
+            r.index.rebuild(&r.sending, len);
+        }
     }
 
     /// The joker-bookkeeping policy in force.
@@ -577,11 +1055,12 @@ impl<P: TwoWayProtocol> Skno<P> {
             s.pending = true;
             let origin = self.mint_origin(s);
             for i in 1..=self.run_len() {
-                s.sending.push_back(Token::Run {
+                let token = Token::Run {
                     origin,
                     state: s.sim.clone(),
                     index: i,
-                });
+                };
+                s.push_token(token);
             }
         }
     }
@@ -593,11 +1072,11 @@ impl<P: TwoWayProtocol> Skno<P> {
         if self.bookkeeping == JokerBookkeeping::Rummy && !token.is_joker() {
             if let Some(pos) = r.owed.iter().position(|t| *t == token) {
                 r.owed.swap_remove(pos);
-                r.sending.push_back(Token::Joker);
+                r.push_token(Token::Joker);
                 return;
             }
         }
-        r.sending.push_back(token);
+        r.push_token(token);
     }
 
     /// Searches the queue for a completable run with the given key:
@@ -612,7 +1091,7 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// against queue scans every step — pays for building the plan.
     fn find_run(
         &self,
-        queue: &VecDeque<Token<P::State>>,
+        queue: &TokenQueue<P::State>,
         key: &RunKeyRef<'_, P::State>,
     ) -> Option<RunPlan<P::State>> {
         let len = self.run_len();
@@ -624,7 +1103,7 @@ impl<P: TwoWayProtocol> Skno<P> {
         } else {
             Vec::new()
         };
-        for t in queue {
+        for t in queue.iter() {
             match t.key_ref() {
                 None => jokers_available += 1,
                 Some((k, i)) if k == *key => {
@@ -682,6 +1161,9 @@ impl<P: TwoWayProtocol> Skno<P> {
         mut positions: Vec<usize>,
         owed_new: Vec<Token<P::State>>,
     ) {
+        // Mid-queue removals: cheaper to rebuild the census lazily than
+        // to mirror them (completions are rare against pushes).
+        r.index.built = false;
         positions.sort_unstable_by(|a, b| b.cmp(a));
         for pos in positions {
             r.sending.remove(pos);
@@ -700,7 +1182,7 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// [`find_run`](Self::find_run)'s plan-building pass.
     fn plan_best(
         &self,
-        queue: &VecDeque<Token<P::State>>,
+        queue: &TokenQueue<P::State>,
         mut filter: impl FnMut(&RunKeyRef<'_, P::State>) -> bool,
     ) -> Option<PlannedRun<P::State>> {
         let len = self.run_len();
@@ -714,7 +1196,7 @@ impl<P: TwoWayProtocol> Skno<P> {
         let mut filled = 0usize;
         let mut spill: Vec<KeyTally<'_, P::State>> = Vec::new();
         let mut jokers_available = 0usize;
-        for t in queue {
+        for t in queue.iter() {
             match t.key_ref() {
                 None => jokers_available += 1,
                 Some((key, i)) if filter(&key) => {
@@ -786,7 +1268,126 @@ impl<P: TwoWayProtocol> Skno<P> {
     /// The preliminary and core checks of the reactor procedure. Returns
     /// whether anything was consumed or completed — every action removes
     /// queue tokens, so `true` implies the state changed.
+    ///
+    /// Dispatches to the indexed fast path (default) or the scan
+    /// reference ([`scan_reference`](Skno::scan_reference)); the two are
+    /// bit-identical by construction — the index only *gates* the scans,
+    /// it never selects a run.
     fn checks(&self, r: &mut SknoState<P::State>) -> bool {
+        if self.indexed {
+            self.checks_indexed(r)
+        } else {
+            self.checks_scan(r)
+        }
+    }
+
+    /// The indexed reactor checks: each branch consults the incremental
+    /// census first and only runs the (unchanged) queue scan when a
+    /// completion provably exists — the common no-completion step does
+    /// no queue walk at all.
+    fn checks_indexed(&self, r: &mut SknoState<P::State>) -> bool {
+        self.ensure_index(r);
+        #[cfg(any(test, debug_assertions))]
+        r.index.assert_matches(&r.sending, self.run_len());
+        let mut acted = false;
+        let filtering = self.filtering();
+        // Preliminary: own-announcement cancel. The index predicate is
+        // find_run's completability condition for exactly the own key.
+        if r.pending {
+            let own_origin = self.mint_origin(r);
+            let own_completable = {
+                let sim = &r.sim;
+                r.index.has_completable(
+                    |k| matches!(k, RunKey::Plain(o, q) if *o == own_origin && q == sim),
+                )
+            };
+            if own_completable {
+                let own_key = RunKeyRef::Plain(own_origin, &r.sim);
+                let (positions, owed_new) = self
+                    .find_run(&r.sending, &own_key)
+                    .expect("index certified own-run completability");
+                self.consume(r, positions, owed_new);
+                r.pending = false;
+                acted = true;
+                self.ensure_index(r);
+            }
+        }
+        if !r.pending {
+            let site = r.site;
+            let plain_completable = r.index.has_completable(
+                |k| matches!(k, RunKey::Plain(o, _) if self.neighbor_ok(*o, site)),
+            );
+            if plain_completable {
+                let plan = self.plan_best(
+                    &r.sending,
+                    |k| matches!(k, RunKeyRef::Plain(o, _) if self.neighbor_ok(*o, site)),
+                );
+                let Some((RunKey::Plain(origin, q), (positions, owed_new))) = plan else {
+                    unreachable!("index certified a completable plain run")
+                };
+                self.consume(r, positions, owed_new);
+                let old = r.sim.clone();
+                r.sim = self.protocol.reactor_out(&q, &old);
+                let change_origin = self.mint_origin(r);
+                for i in 1..=self.run_len() {
+                    r.push_token(Token::Change {
+                        origin: change_origin,
+                        target: origin,
+                        starter: q.clone(),
+                        reactor: old.clone(),
+                        index: i,
+                    });
+                }
+                r.commit = Some(Box::new(Commit {
+                    role: Role::Reactor,
+                    partner: q,
+                    partner_id: filtering.then_some(origin as u64),
+                    seq: r.commits,
+                }));
+                r.commits += 1;
+                acted = true;
+            }
+        } else {
+            let change_completable = {
+                let sim = &r.sim;
+                let site = r.site;
+                r.index.has_completable(
+                    |k| matches!(k, RunKey::Change(_, t, s, _) if s == sim && self.change_addressed(*t, site)),
+                )
+            };
+            if change_completable {
+                let plan = {
+                    let own = &r.sim;
+                    let site = r.site;
+                    self.plan_best(
+                        &r.sending,
+                        |k| matches!(k, RunKeyRef::Change(_, t, s, _) if *s == own && self.change_addressed(*t, site)),
+                    )
+                };
+                let Some((RunKey::Change(origin, _, _, q_r), (positions, owed_new))) = plan else {
+                    unreachable!("index certified a completable change run")
+                };
+                self.consume(r, positions, owed_new);
+                let old = r.sim.clone();
+                r.sim = self.protocol.starter_out(&old, &q_r);
+                r.pending = false;
+                r.commit = Some(Box::new(Commit {
+                    role: Role::Starter,
+                    partner: q_r,
+                    partner_id: filtering.then_some(origin as u64),
+                    seq: r.commits,
+                }));
+                r.commits += 1;
+                acted = true;
+            }
+        }
+        acted
+    }
+
+    /// The scan-path reference: every branch walks the queue, as the
+    /// pre-index implementation did. Kept verbatim as the oracle the
+    /// equivalence suite compares the indexed path against.
+    fn checks_scan(&self, r: &mut SknoState<P::State>) -> bool {
         let mut acted = false;
         let filtering = self.filtering();
         // Preliminary: a pending agent that re-assembles the announcement
@@ -815,7 +1416,7 @@ impl<P: TwoWayProtocol> Skno<P> {
                 r.sim = self.protocol.reactor_out(&q, &old);
                 let change_origin = self.mint_origin(r);
                 for i in 1..=self.run_len() {
-                    r.sending.push_back(Token::Change {
+                    r.push_token(Token::Change {
                         origin: change_origin,
                         // Address the change run to the consumed
                         // announcement's origin (0 = anyone, anonymously).
@@ -825,7 +1426,7 @@ impl<P: TwoWayProtocol> Skno<P> {
                         index: i,
                     });
                 }
-                r.commit = Some(Commit {
+                r.commit = Some(Box::new(Commit {
                     role: Role::Reactor,
                     partner: q,
                     // Graphical runs are keyed per announcer, so the
@@ -833,7 +1434,7 @@ impl<P: TwoWayProtocol> Skno<P> {
                     // its vertex for the on-graph simulation audit.
                     partner_id: filtering.then_some(origin as u64),
                     seq: r.commits,
-                });
+                }));
                 r.commits += 1;
                 acted = true;
             }
@@ -854,12 +1455,12 @@ impl<P: TwoWayProtocol> Skno<P> {
                 let old = r.sim.clone();
                 r.sim = self.protocol.starter_out(&old, &q_r);
                 r.pending = false;
-                r.commit = Some(Commit {
+                r.commit = Some(Box::new(Commit {
                     role: Role::Starter,
                     partner: q_r,
                     partner_id: filtering.then_some(origin as u64),
                     seq: r.commits,
-                });
+                }));
                 r.commits += 1;
                 acted = true;
             }
@@ -878,7 +1479,7 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
             // Fill-then-pop, built directly: the head ⟨sim, 1⟩ is the one
             // transmitted, so the new queue is ⟨sim, 2⟩ … ⟨sim, o+1⟩.
             let origin = self.mint_origin(s);
-            let mut sending = VecDeque::with_capacity(self.bound as usize);
+            let mut sending = TokenQueue::new();
             for i in 2..=self.run_len() {
                 sending.push_back(Token::Run {
                     origin,
@@ -892,12 +1493,13 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
                 pending: true,
                 sending,
                 owed: s.owed.clone(),
+                index: RunIndex::default(),
                 commit: s.commit.clone(),
                 commits: s.commits,
             };
         }
         let mut s2 = s.clone();
-        s2.sending.pop_front();
+        s2.pop_token();
         s2
     }
 
@@ -919,7 +1521,7 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
     fn on_omission_starter(&self, s: &Self::State) -> Self::State {
         let mut s2 = s.clone();
         self.fill(&mut s2);
-        s2.sending.push_back(Token::Joker);
+        s2.push_token(Token::Joker);
         s2
     }
 
@@ -928,7 +1530,7 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
     /// checks.
     fn on_omission_reactor(&self, r: &Self::State) -> Self::State {
         let mut r2 = r.clone();
-        r2.sending.push_back(Token::Joker);
+        r2.push_token(Token::Joker);
         self.checks(&mut r2);
         r2
     }
@@ -953,11 +1555,11 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
                     state: s.sim.clone(),
                     index: i,
                 };
-                s.sending.push_back(token);
+                s.push_token(token);
             }
             return true;
         }
-        s.sending.pop_front().is_some()
+        s.pop_token().is_some()
     }
 
     /// In-place `f`: a delivered token always changes the queue; without
@@ -976,13 +1578,13 @@ impl<P: TwoWayProtocol> OneWayProgram for Skno<P> {
     /// the queue.
     fn on_omission_starter_in_place(&self, s: &mut Self::State) -> bool {
         self.fill(s);
-        s.sending.push_back(Token::Joker);
+        s.push_token(Token::Joker);
         true
     }
 
     /// In-place `h`: the minted joker always grows the queue.
     fn on_omission_reactor_in_place(&self, r: &mut Self::State) -> bool {
-        r.sending.push_back(Token::Joker);
+        r.push_token(Token::Joker);
         self.checks(r);
         true
     }
@@ -1006,7 +1608,7 @@ impl<Q: State> SimulatorState for SknoState<Q> {
     }
 
     fn last_commit(&self) -> Option<&Commit<Q>> {
-        self.commit.as_ref()
+        self.commit.as_deref()
     }
 }
 
@@ -1221,6 +1823,83 @@ mod tests {
             "own-run return must cancel the pending transaction"
         );
         assert_eq!(s.commit_count(), 0, "cancellation is not a commit");
+    }
+
+    #[test]
+    fn indexed_checks_match_scan_reference_bitwise() {
+        // Same seeds, same adversary, both anonymous and graphical (ring):
+        // the indexed path must land on identical final configurations.
+        // (The per-step debug cross-check inside checks_indexed already
+        // guards the census; this guards the gating logic end to end.)
+        use ppfts_population::Topology;
+        for seed in 0..4u64 {
+            for o in [0u32, 1, 2] {
+                let sims = ['c', 'c', 'c', 'p', 'p', 'p'];
+                let run = |skno: Skno<TableProtocol<char>>| {
+                    let mut runner = OneWayRunner::builder(OneWayModel::I3, skno)
+                        .config(Skno::<TableProtocol<char>>::initial(&sims))
+                        .adversary(BoundedStrategy::new(0.05, o as u64))
+                        .seed(seed)
+                        .build()
+                        .unwrap();
+                    runner.run(20_000).unwrap();
+                    runner.config().clone()
+                };
+                let indexed = run(Skno::new(pairing(), o));
+                let scanned = run(Skno::new(pairing(), o).scan_reference());
+                assert_eq!(indexed, scanned, "anonymous o={o} seed={seed}");
+
+                let ring = Topology::ring(sims.len()).unwrap();
+                let run_g = |skno: Skno<TableProtocol<char>>| {
+                    let mut runner = OneWayRunner::builder(OneWayModel::I3, skno)
+                        .config(Skno::<TableProtocol<char>>::initial(&sims))
+                        .topology(ring.clone())
+                        .adversary(BoundedStrategy::new(0.05, o as u64))
+                        .seed(seed)
+                        .build()
+                        .unwrap();
+                    runner.run(20_000).unwrap();
+                    runner.config().clone()
+                };
+                let indexed = run_g(Skno::graphical(pairing(), o, ring.clone()));
+                let scanned = run_g(Skno::graphical(pairing(), o, ring.clone()).scan_reference());
+                assert_eq!(indexed, scanned, "graphical o={o} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_index_census_tracks_pushes_and_pops() {
+        let mut idx: RunIndex<char> = RunIndex::default();
+        let queue: TokenQueue<char> = TokenQueue::new();
+        idx.rebuild(&queue, 3);
+        let t1 = Token::Run {
+            origin: 0,
+            state: 'c',
+            index: 1,
+        };
+        let t2 = Token::Run {
+            origin: 0,
+            state: 'c',
+            index: 2,
+        };
+        idx.note_push(&t1);
+        idx.note_push(&Token::Joker);
+        assert_eq!(idx.entries().count(), 1);
+        assert_eq!(idx.entries().next().unwrap().distinct, 1);
+        assert_eq!(idx.jokers, 1);
+        // One real token + one joker cannot cover a 3-run.
+        assert!(!idx.has_completable(|_| true));
+        idx.note_push(&t2);
+        // Two distinct + one joker: completable.
+        assert!(idx.has_completable(|k| matches!(k, RunKey::Plain(0, 'c'))));
+        assert!(!idx.has_completable(|k| matches!(k, RunKey::Plain(1, _))));
+        idx.note_remove(&t1);
+        assert!(!idx.has_completable(|_| true));
+        idx.note_remove(&t2);
+        assert!(idx.entries().next().is_none(), "empty keys are dropped");
+        idx.note_remove(&Token::Joker);
+        assert_eq!(idx.jokers, 0);
     }
 
     #[test]

@@ -59,6 +59,23 @@ pub trait OmissionStrategy {
     fn iid_rate(&self) -> Option<f64> {
         None
     }
+
+    /// Whether [`decide`](OmissionStrategy::decide) may ever consume the
+    /// RNG.
+    ///
+    /// Runners interleave one fault decision after each pair draw on the
+    /// shared RNG stream, so pairs can only be drawn in bulk (the batched
+    /// fast path) when the fault decisions between them are RNG-free.
+    /// The conservative default is `true` (no bulk drawing); strategies
+    /// that decide deterministically — [`NoOmissions`],
+    /// [`AtMostOneStrategy`], [`ScriptedOmissions`] — override to
+    /// `false`. Overriding falsely on a strategy that *does* draw would
+    /// silently reorder the RNG stream; the equivalence suites
+    /// (`tests/simulator_index_equivalence.rs`) pin the built-in
+    /// strategies' answers.
+    fn uses_rng(&self) -> bool {
+        true
+    }
 }
 
 impl<A: OmissionStrategy + ?Sized> OmissionStrategy for &mut A {
@@ -73,6 +90,9 @@ impl<A: OmissionStrategy + ?Sized> OmissionStrategy for &mut A {
     }
     fn iid_rate(&self) -> Option<f64> {
         (**self).iid_rate()
+    }
+    fn uses_rng(&self) -> bool {
+        (**self).uses_rng()
     }
 }
 
@@ -96,6 +116,9 @@ impl OmissionStrategy for NoOmissions {
     }
     fn iid_rate(&self) -> Option<f64> {
         Some(0.0)
+    }
+    fn uses_rng(&self) -> bool {
+        false
     }
 }
 
@@ -305,6 +328,9 @@ impl OmissionStrategy for AtMostOneStrategy {
     fn budget(&self) -> Option<u64> {
         Some(1)
     }
+    fn uses_rng(&self) -> bool {
+        false
+    }
 }
 
 /// **UO adversary, burst form** (Definition 1 verbatim): between
@@ -420,6 +446,9 @@ impl OmissionStrategy for ScriptedOmissions {
     fn budget(&self) -> Option<u64> {
         Some(self.steps.len() as u64)
     }
+    fn uses_rng(&self) -> bool {
+        false
+    }
 }
 
 /// How a two-way runner chooses *which side* an omissive interaction hits.
@@ -531,6 +560,19 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rate_must_be_probability() {
         let _ = RateStrategy::new(1.5);
+    }
+
+    #[test]
+    fn uses_rng_classifies_the_built_in_strategies() {
+        // Deterministic deciders — eligible for bulk pair drawing.
+        assert!(!NoOmissions.uses_rng());
+        assert!(!AtMostOneStrategy::at_step(3).uses_rng());
+        assert!(!ScriptedOmissions::new([1, 4]).uses_rng());
+        // Probabilistic deciders — must stay interleaved.
+        assert!(RateStrategy::new(0.1).uses_rng());
+        assert!(HorizonStrategy::new(0.1, 10).uses_rng());
+        assert!(BoundedStrategy::new(0.1, 2).uses_rng());
+        assert!(BurstStrategy::new(0.1, 0.5).uses_rng());
     }
 
     #[test]

@@ -138,6 +138,7 @@ macro_rules! runner_impl {
         compute: |$model_:ident, $program_:ident, $fault_:ident, $s:ident, $r:ident| $compute:expr,
         fast: |$fmodel:ident, $fprogram:ident, $ffault:ident, $fs:ident, $fr:ident| $fast:expr,
         decide: |$dself:ident, $didx:ident| $decide:expr,
+        bulk: |$bself:ident| $bulk:expr,
         mix: |$mmodel:ident, $mpolicy:ident, $mrate:ident| $mix:expr,
     ) => {
         $(#[$doc])*
@@ -346,6 +347,17 @@ macro_rules! runner_impl {
                 $decide
             }
 
+            /// Whether this run's fault decisions never consume the RNG,
+            /// so a whole batch of pairs can be drawn in bulk (through
+            /// the scheduler's monomorphized
+            /// [`next_interactions_into`](Scheduler::next_interactions_into)
+            /// path) and still consume the shared stream exactly as the
+            /// interleaved pair/fault loop would.
+            fn bulk_pairs_ok(&self) -> bool {
+                let $bself = self;
+                $bulk
+            }
+
             fn next_fault(&mut self) -> $Fault {
                 self.decide_fault(self.next_index)
             }
@@ -374,7 +386,9 @@ macro_rules! runner_impl {
             /// Same conditions as [`step`](Self::step).
             pub fn run(&mut self, steps: u64) -> Result<(), EngineError> {
                 for _ in 0..steps {
-                    let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
+                    let pair = self
+                        .config
+                        .draw_pair_with(&mut self.scheduler, &mut self.rng);
                     let fault = self.next_fault();
                     self.execute(pair, fault, false)?;
                 }
@@ -385,10 +399,34 @@ macro_rules! runner_impl {
             /// the pair and then the fault of each step in exactly the
             /// order the scalar loop would, so batched and scalar runs
             /// consume the shared RNG stream identically.
+            ///
+            /// When the fault decisions are RNG-free
+            /// ([`bulk_pairs_ok`](Self::bulk_pairs_ok)) the shared stream
+            /// is pairs-only, so all `take` pairs are drawn first through
+            /// the backend's monomorphized bulk path — same draws, same
+            /// stream, no per-draw virtual dispatch — and the fault
+            /// decisions (still stateful: budgets, scripts) follow in
+            /// index order.
             fn draw_batch(&mut self, plan: &mut Vec<Drawn<C::Pair, $Fault>>, take: u64) {
                 plan.clear();
+                if C::STABLE_PAIRS && self.bulk_pairs_ok() {
+                    let mut pairs: Vec<C::Pair> = Vec::with_capacity(take as usize);
+                    self.config.draw_pairs_into(
+                        &mut pairs,
+                        take as usize,
+                        &mut self.scheduler,
+                        &mut self.rng,
+                    );
+                    for (k, pair) in pairs.into_iter().enumerate() {
+                        let fault = self.decide_fault(self.next_index + k as u64);
+                        plan.push(Drawn { pair, fault });
+                    }
+                    return;
+                }
                 for k in 0..take {
-                    let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
+                    let pair = self
+                        .config
+                        .draw_pair_with(&mut self.scheduler, &mut self.rng);
                     let fault = self.decide_fault(self.next_index + k);
                     plan.push(Drawn { pair, fault });
                 }
@@ -416,7 +454,20 @@ macro_rules! runner_impl {
                     ..
                 } = self;
                 let model = *model;
-                for p in plan {
+                // Uniform draws scatter the endpoints across the slab, so
+                // each step's two state loads start cold in L1; hinting a
+                // few plan entries ahead overlaps the line fills with the
+                // current step's work (dense backend only — the hint is a
+                // no-op elsewhere). Neutral when the whole slab is
+                // L2-resident (E17 swept 0/4/16/32 within noise on a 2 MiB
+                // L2 part); it pays off only once the population outgrows
+                // mid-level cache, so the distance just needs to clear the
+                // fill latency without thrashing L1 — 16 entries is ample.
+                const PREFETCH_AHEAD: usize = 16;
+                for (k, p) in plan.iter().enumerate() {
+                    if let Some(ahead) = plan.get(k + PREFETCH_AHEAD) {
+                        config.prefetch_pair(&ahead.pair);
+                    }
                     let fault = p.fault;
                     let (s_changed, r_changed) = config.update_pair(&p.pair, |$fs, $fr| {
                         let $fmodel = model;
@@ -485,7 +536,9 @@ macro_rules! runner_impl {
                     };
                 }
                 for _ in 0..max_steps {
-                    let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
+                    let pair = self
+                        .config
+                        .draw_pair_with(&mut self.scheduler, &mut self.rng);
                     let fault = self.next_fault();
                     if self.execute(pair, fault, false).is_err() {
                         break;
@@ -688,15 +741,20 @@ macro_rules! runner_impl {
             where
                 P: Sync,
             {
+                // One walk over the batch: flatten each pair and stream
+                // it straight into the level planner, instead of a
+                // second pass over the flattened interactions.
                 flat.clear();
+                levels.begin(self.config.len());
                 for p in plan {
                     let interaction =
                         C::interaction_of(&p.pair).ok_or(EngineError::ShardIncompatible {
                             feature: "state-addressed pairs (count-based populations)",
                         })?;
                     flat.push((interaction, p.fault));
+                    levels.push(interaction);
                 }
-                levels.compute(flat.iter().map(|(i, _)| *i), self.config.len());
+                levels.finish();
                 let shards = self.shards;
                 let $Runner {
                     model,
@@ -1280,6 +1338,11 @@ runner_impl! {
             OneWayFault::None
         }
     },
+    bulk: |this| {
+        // decide() is only reached in omissive models; when it never
+        // draws, the shared stream is pairs-only.
+        !this.model.allows_omissions() || !this.adversary.uses_rng()
+    },
     mix: |model, policy, rate| {
         // One-way models have a single omissive fault; the side policy
         // plays no role.
@@ -1316,6 +1379,16 @@ runner_impl! {
         } else {
             TwoWayFault::None
         }
+    },
+    bulk: |this| {
+        // Beyond decide(), a firing fault also runs SidePolicy::pick,
+        // which draws under Uniform — so bulk drawing additionally
+        // needs a draw-free side pick (Always) or a fault that can
+        // never fire (zero budget).
+        !this.model.allows_omissions()
+            || (!this.adversary.uses_rng()
+                && (matches!(this.side_policy, SidePolicy::Always(_))
+                    || this.adversary.budget() == Some(0)))
     },
     mix: |model, policy, rate| {
         // The scalar path draws decide() then SidePolicy::pick() per
@@ -1503,6 +1576,51 @@ mod tests {
             assert_eq!((r.config().clone(), r.stats()), scalar, "batch {batch}");
             assert_eq!(r.steps(), 500);
         }
+    }
+
+    #[test]
+    fn bulk_drawn_batches_match_scalar_run_bitwise() {
+        // ScriptedOmissions decides without the RNG, so batched runs
+        // take the bulk pair-drawing path; the stream, configuration,
+        // stats, and fault placement must match the scalar loop exactly.
+        let build = || {
+            OneWayRunner::builder(OneWayModel::I3, Epidemic)
+                .config(Configuration::new(vec![true, false, false, false, false]))
+                .scheduler(TopologyScheduler::new(Topology::ring(5).unwrap()))
+                .adversary(ScriptedOmissions::new([3, 17, 90, 91]))
+                .seed(7)
+                .record_trace(true)
+                .build()
+                .unwrap()
+        };
+        let mut scalar = build();
+        scalar.run(200).unwrap();
+        for batch in [1u64, 13, 64, 200] {
+            let mut batched = build();
+            assert!(batched.bulk_pairs_ok());
+            batched.run_batched(200, batch).unwrap();
+            assert_eq!(batched.config(), scalar.config(), "batch {batch}");
+            assert_eq!(batched.stats(), scalar.stats(), "batch {batch}");
+            assert_eq!(batched.trace(), scalar.trace(), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn two_way_bulk_gate_requires_a_draw_free_side_pick() {
+        let base = || {
+            TwoWayRunner::builder(TwoWayModel::T1, pairing())
+                .config(Configuration::new(vec!['c', 'p', 'c', 'p']))
+                .adversary(ScriptedOmissions::new([2]))
+        };
+        // Uniform side pick draws when a fault fires: not bulk-eligible.
+        let r = base().build().unwrap();
+        assert!(!r.bulk_pairs_ok());
+        // A fixed side never draws: bulk-eligible.
+        let r = base()
+            .side_policy(SidePolicy::Always(TwoWayFault::Reactor))
+            .build()
+            .unwrap();
+        assert!(r.bulk_pairs_ok());
     }
 
     #[test]

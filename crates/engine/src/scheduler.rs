@@ -120,6 +120,35 @@ pub trait Scheduler {
     fn dealt_topology(&self) -> Option<&Topology> {
         None
     }
+
+    /// Deals `k` interactions into `out` (appending), consuming the RNG
+    /// stream exactly as `k` successive
+    /// [`next_interaction`](Scheduler::next_interaction) calls would.
+    ///
+    /// The default loops over `next_interaction`; [`UniformScheduler`]
+    /// and [`TopologyScheduler`] override it with monomorphized draws
+    /// (no per-draw virtual call, loop-hoisted validation) — the batched
+    /// fast path `run_batched` uses when the fault stream permits bulk
+    /// pair drawing. Bit-identity to the per-draw stream is part of the
+    /// contract; `tests/simulator_index_equivalence.rs` and the in-module
+    /// tests certify it for the built-in schedulers.
+    ///
+    /// `where Self: Sized` keeps the trait object-safe; `&mut dyn
+    /// Scheduler` callers simply keep the per-draw entry point.
+    fn next_interactions_into<R: RngCore>(
+        &mut self,
+        out: &mut Vec<Interaction>,
+        k: usize,
+        n: usize,
+        rng: &mut R,
+    ) where
+        Self: Sized,
+    {
+        out.reserve(k);
+        for _ in 0..k {
+            out.push(self.next_interaction(n, rng));
+        }
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
@@ -181,6 +210,25 @@ impl Scheduler for UniformScheduler {
 
     fn law(&self) -> InteractionLaw {
         InteractionLaw::Uniform
+    }
+
+    fn next_interactions_into<R: RngCore>(
+        &mut self,
+        out: &mut Vec<Interaction>,
+        k: usize,
+        n: usize,
+        rng: &mut R,
+    ) {
+        assert!(n >= 2, "population must have at least 2 agents");
+        out.reserve(k);
+        for _ in 0..k {
+            let s = rng.gen_range(0..n);
+            let mut r = rng.gen_range(0..n - 1);
+            if r >= s {
+                r += 1;
+            }
+            out.push(Interaction::new(s, r).expect("distinct by construction"));
+        }
     }
 }
 
@@ -257,6 +305,22 @@ impl Scheduler for TopologyScheduler {
 
     fn dealt_topology(&self) -> Option<&Topology> {
         Some(&self.topology)
+    }
+
+    fn next_interactions_into<R: RngCore>(
+        &mut self,
+        out: &mut Vec<Interaction>,
+        k: usize,
+        n: usize,
+        rng: &mut R,
+    ) {
+        assert_eq!(
+            n,
+            self.topology.len(),
+            "topology built for {} agents, population has {n}; builders reject this",
+            self.topology.len()
+        );
+        self.topology.sample_arcs_into(out, k, rng);
     }
 }
 
@@ -510,6 +574,35 @@ mod tests {
         let mut sched = TopologyScheduler::new(Topology::ring(6).unwrap());
         let mut rng = SmallRng::seed_from_u64(0);
         let _ = sched.next_interaction(5, &mut rng);
+    }
+
+    #[test]
+    fn batched_draws_match_per_draw_stream_bitwise() {
+        // Uniform: override vs default per-draw loop, same seed.
+        let mut one = SmallRng::seed_from_u64(41);
+        let mut many = SmallRng::seed_from_u64(41);
+        let mut sched = UniformScheduler::new();
+        let singles: Vec<Interaction> = (0..257)
+            .map(|_| sched.next_interaction(9, &mut one))
+            .collect();
+        let mut batch = Vec::new();
+        sched.next_interactions_into(&mut batch, 257, 9, &mut many);
+        assert_eq!(singles, batch);
+        assert_eq!(one, many, "identical RNG consumption");
+
+        // Topology (ring = CSR repr, and complete for the uniform law).
+        for topo in [Topology::ring(9).unwrap(), Topology::complete(9).unwrap()] {
+            let mut sched = TopologyScheduler::new(topo);
+            let mut one = SmallRng::seed_from_u64(57);
+            let mut many = SmallRng::seed_from_u64(57);
+            let singles: Vec<Interaction> = (0..257)
+                .map(|_| sched.next_interaction(9, &mut one))
+                .collect();
+            let mut batch = Vec::new();
+            sched.next_interactions_into(&mut batch, 257, 9, &mut many);
+            assert_eq!(singles, batch);
+            assert_eq!(one, many, "identical RNG consumption");
+        }
     }
 
     #[test]

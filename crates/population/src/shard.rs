@@ -76,6 +76,10 @@ pub struct LevelPlan {
     epoch: u32,
     /// Scratch: write cursor per level for the counting sort.
     cursor: Vec<u32>,
+    /// Streaming state between [`LevelPlan::begin`] and
+    /// [`LevelPlan::finish`]: population size and highest level so far.
+    n_agents: usize,
+    max_level: u32,
 }
 
 impl LevelPlan {
@@ -86,7 +90,9 @@ impl LevelPlan {
     }
 
     /// Computes the level partition of `pairs` over a population of
-    /// `n_agents` agents, replacing any previous plan.
+    /// `n_agents` agents, replacing any previous plan. Equivalent to
+    /// [`begin`](LevelPlan::begin) / [`push`](LevelPlan::push) per pair /
+    /// [`finish`](LevelPlan::finish).
     ///
     /// # Panics
     ///
@@ -94,11 +100,22 @@ impl LevelPlan {
     /// the batch holds `u32::MAX` or more steps (batches are drawn in
     /// bounded chunks well below that).
     pub fn compute(&mut self, pairs: impl ExactSizeIterator<Item = Interaction>, n_agents: usize) {
-        let len = pairs.len();
-        assert!(
-            u32::try_from(len).is_ok() && (len as u32) < u32::MAX,
-            "batch of {len} steps overflows the level planner's u32 indices"
-        );
+        self.begin(n_agents);
+        for pair in pairs {
+            self.push(pair);
+        }
+        self.finish();
+    }
+
+    /// Starts a streaming plan over a population of `n_agents` agents,
+    /// discarding any previous plan.
+    ///
+    /// The streaming triple `begin` / [`push`](LevelPlan::push) /
+    /// [`finish`](LevelPlan::finish) lets a caller assign levels *while
+    /// it walks the batch for other reasons* (the sharded runner fuses
+    /// level assignment into its batch-flattening loop) instead of
+    /// feeding the planner a second pass over materialized interactions.
+    pub fn begin(&mut self, n_agents: usize) {
         self.order.clear();
         self.bounds.clear();
         self.level_of.clear();
@@ -112,41 +129,59 @@ impl LevelPlan {
             self.stamp.fill(0);
             self.epoch = 1;
         }
+        self.n_agents = n_agents;
+        self.max_level = 0;
+    }
 
-        // Pass 1: assign levels and count the size of each.
-        let mut max_level = 0u32;
-        for pair in pairs {
-            let s = pair.starter().index();
-            let r = pair.reactor().index();
-            assert!(
-                s < n_agents && r < n_agents,
-                "interaction {pair} out of bounds for population of {n_agents}"
-            );
-            let ls = if self.stamp[s] == self.epoch {
-                self.next_level[s]
-            } else {
-                0
-            };
-            let lr = if self.stamp[r] == self.epoch {
-                self.next_level[r]
-            } else {
-                0
-            };
-            let level = ls.max(lr);
-            self.level_of.push(level);
-            self.next_level[s] = level + 1;
-            self.next_level[r] = level + 1;
-            self.stamp[s] = self.epoch;
-            self.stamp[r] = self.epoch;
-            max_level = max_level.max(level);
-        }
-        let level_count = if self.level_of.is_empty() {
+    /// Appends the next batch step to the streaming plan: assigns its
+    /// level from the per-agent watermarks, one O(1) update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` references an agent `>= n_agents`, or if the
+    /// batch reaches `u32::MAX` steps.
+    pub fn push(&mut self, pair: Interaction) {
+        let n_agents = self.n_agents;
+        let s = pair.starter().index();
+        let r = pair.reactor().index();
+        assert!(
+            s < n_agents && r < n_agents,
+            "interaction {pair} out of bounds for population of {n_agents}"
+        );
+        assert!(
+            self.level_of.len() < (u32::MAX - 1) as usize,
+            "batch overflows the level planner's u32 indices"
+        );
+        let ls = if self.stamp[s] == self.epoch {
+            self.next_level[s]
+        } else {
+            0
+        };
+        let lr = if self.stamp[r] == self.epoch {
+            self.next_level[r]
+        } else {
+            0
+        };
+        let level = ls.max(lr);
+        self.level_of.push(level);
+        self.next_level[s] = level + 1;
+        self.next_level[r] = level + 1;
+        self.stamp[s] = self.epoch;
+        self.stamp[r] = self.epoch;
+        self.max_level = self.max_level.max(level);
+    }
+
+    /// Seals the streaming plan: groups the pushed steps into levels (a
+    /// stable counting sort of batch indices by assigned level). The
+    /// plan is only valid for reading after this call.
+    pub fn finish(&mut self) {
+        let len = self.level_of.len();
+        let level_count = if len == 0 {
             0
         } else {
-            max_level as usize + 1
+            self.max_level as usize + 1
         };
-
-        // Pass 2: stable counting sort of batch indices by level.
+        self.bounds.clear();
         self.bounds.resize(level_count + 1, 0);
         for &l in &self.level_of {
             self.bounds[l as usize + 1] += 1;
@@ -337,6 +372,32 @@ mod tests {
                 assert!(plan.widest_level() <= n / 2);
             }
         }
+    }
+
+    #[test]
+    fn streaming_plan_matches_compute() {
+        let mut rng = SmallRng::seed_from_u64(0xBEE);
+        let mut whole = LevelPlan::new();
+        let mut streamed = LevelPlan::new();
+        for &(n, len) in &[(2usize, 64usize), (16, 1000), (64, 4096)] {
+            let batch = random_batch(&mut rng, n, len);
+            whole.compute(batch.iter().copied(), n);
+            streamed.begin(n);
+            for &pair in &batch {
+                streamed.push(pair);
+            }
+            streamed.finish();
+            assert_eq!(whole.level_count(), streamed.level_count());
+            for l in 0..whole.level_count() {
+                assert_eq!(whole.level(l), streamed.level(l));
+            }
+            assert_valid_plan(&streamed, &batch);
+        }
+        // And an empty streaming session seals to an empty plan.
+        streamed.begin(4);
+        streamed.finish();
+        assert!(streamed.is_empty());
+        assert_eq!(streamed.level_count(), 0);
     }
 
     #[test]

@@ -676,6 +676,16 @@ impl Topology {
     /// topology runs are bit-identical to uniform-scheduler runs; on CSR
     /// topologies it consumes one range draw over the arc array.
     pub fn sample_arc(&self, rng: &mut dyn RngCore) -> Interaction {
+        self.sample_arc_with(rng)
+    }
+
+    /// [`sample_arc`](Topology::sample_arc), monomorphized over the RNG.
+    ///
+    /// Identical draw law and RNG-stream consumption; the generic
+    /// signature lets a concrete RNG (the engine's `SmallRng`, sweep
+    /// jobs, fuzzers) inline the range draws instead of paying a virtual
+    /// call per draw. The `dyn` entry point above delegates here.
+    pub fn sample_arc_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> Interaction {
         match &self.repr {
             Repr::Complete { n } => {
                 let s = rng.gen_range(0..*n);
@@ -689,6 +699,49 @@ impl Topology {
                 let a = rng.gen_range(0..heads.len());
                 Interaction::new(tails[a] as usize, heads[a] as usize)
                     .expect("no self-loops by construction")
+            }
+        }
+    }
+
+    /// Draws `k` arcs into `out` (appending), consuming the RNG stream
+    /// exactly as `k` successive [`sample_arc`](Topology::sample_arc)
+    /// calls would — bit-identical by construction, certified by the
+    /// scheduler equivalence suites.
+    ///
+    /// The repr match is hoisted out of the loop and the draws are
+    /// monomorphized, which is where the batching win comes from. An
+    /// alias-table draw over arc tails would be asymptotically no better
+    /// here (the draw is already O(1)) and would *change the RNG
+    /// stream*, breaking the bit-identity contract — so this stays a
+    /// straight replication of the per-draw sequence.
+    pub fn sample_arcs_into<R: RngCore + ?Sized>(
+        &self,
+        out: &mut Vec<Interaction>,
+        k: usize,
+        rng: &mut R,
+    ) {
+        out.reserve(k);
+        match &self.repr {
+            Repr::Complete { n } => {
+                let n = *n;
+                for _ in 0..k {
+                    let s = rng.gen_range(0..n);
+                    let mut r = rng.gen_range(0..n - 1);
+                    if r >= s {
+                        r += 1;
+                    }
+                    out.push(Interaction::new(s, r).expect("distinct by construction"));
+                }
+            }
+            Repr::Csr { heads, tails, .. } => {
+                let m = heads.len();
+                for _ in 0..k {
+                    let a = rng.gen_range(0..m);
+                    out.push(
+                        Interaction::new(tails[a] as usize, heads[a] as usize)
+                            .expect("no self-loops by construction"),
+                    );
+                }
             }
         }
     }
