@@ -23,6 +23,9 @@
 //! gate binary, which shares `bench_gate`'s exit-code contract: 0 clean,
 //! 1 findings, 2 usage error.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod checker;
 pub mod finding;
 pub mod lints;

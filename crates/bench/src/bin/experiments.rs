@@ -1,4 +1,4 @@
-//! Runs the experiment suite (DESIGN.md E1–E17) and prints the
+//! Runs the experiment suite (DESIGN.md E1–E18) and prints the
 //! paper-claim-vs-measured tables recorded in EXPERIMENTS.md.
 //!
 //! Convergence measurements (E5, E7, E8) run on the engine's batched
@@ -22,6 +22,7 @@ use ppfts_bench::{
 use ppfts_core::{fastest_transition_time, Sid, SidState, Skno, SknoState};
 use ppfts_engine::hierarchy::{direct_inclusions, includes};
 use ppfts_engine::{Model, OneWayModel};
+use ppfts_fuzz::{FuzzConfig, FuzzReport, FuzzTarget};
 use ppfts_population::Topology;
 use ppfts_protocols::{Pairing, PairingState};
 use ppfts_verify::{lemma1_attack, thm32_attack, AttackOutcome, Optimist, OptimistState};
@@ -32,6 +33,17 @@ fn header(id: &str, title: &str) {
     println!("{}", "=".repeat(72));
 }
 
+/// Prints the banner for experiment `id`, titled from
+/// [`Selection::KNOWN`] — the single source `--help` also prints.
+fn section(id: &str) {
+    let title = Selection::KNOWN
+        .iter()
+        .find(|(known, _)| *known == id)
+        .expect("section ids are registered in Selection::KNOWN")
+        .1;
+    header(&id.to_ascii_uppercase(), title);
+}
+
 /// CLI selection: which experiments to run, at which scale.
 struct Selection {
     ids: Vec<String>,
@@ -39,11 +51,86 @@ struct Selection {
 }
 
 impl Selection {
-    /// The experiment ids this binary knows.
-    const KNOWN: [&'static str; 16] = [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e15",
-        "e16", "e17",
+    /// The experiment ids this binary knows, with their table titles
+    /// (the same titles `header` prints, kept in one place so `--help`
+    /// cannot drift from the sections).
+    const KNOWN: [(&'static str, &'static str); 17] = [
+        ("e1", "Figure 1: hierarchy arrows and closure"),
+        (
+            "e2",
+            "Lemma 1 / Theorem 3.1: FTT and the omission attack on SKnO (I3)",
+        ),
+        (
+            "e3",
+            "Theorem 3.2: the weak models I1/I2 fall without omissions",
+        ),
+        ("e4", "Theorem 3.3: graceful degradation threshold ≤ 1"),
+        (
+            "e5",
+            "Theorem 4.1: SKnO convergence on Pairing (I3, adversary at full budget)",
+        ),
+        (
+            "e6",
+            "Corollary 1 / Theorem 4.1: SKnO memory audit (peak tokens per agent)",
+        ),
+        (
+            "e7",
+            "Theorem 4.5: SID convergence on Pairing (IO, unique IDs)",
+        ),
+        (
+            "e8",
+            "Theorem 4.6 / Lemma 3: naming with knowledge of n, then simulation",
+        ),
+        (
+            "e9",
+            "Figure 4: run `cargo run --release -p ppfts-bench --bin figure4`",
+        ),
+        (
+            "e10",
+            "Flock-of-birds motivation: run `cargo run --example flock_of_birds`",
+        ),
+        (
+            "e11",
+            "Giant-n epidemic on the count backend (n = 10²…10⁶, Θ(n log n))",
+        ),
+        (
+            "e12",
+            "Graph-aware scheduling: epidemic broadcast by interaction topology",
+        ),
+        (
+            "e13",
+            "Graphical fault tolerance: SKnO/SID simulators on restricted graphs",
+        ),
+        (
+            "e15",
+            "Batch-epoch epidemic sweep (n = 10²…10⁹, sub-ns per interaction)",
+        ),
+        (
+            "e16",
+            "Sharded dense stepping (graphical SKnO, fixed budget, threads × n)",
+        ),
+        (
+            "e17",
+            "Indexed simulation hot path: RunIndex vs scan-reference wall-clock",
+        ),
+        (
+            "e18",
+            "Adversary schedule fuzzing: found-attack severity vs o and conductance",
+        ),
     ];
+
+    fn usage() -> String {
+        let mut text = String::from(
+            "usage: experiments [--smoke] [ids…]\n\n\
+             Runs the experiment suite (no ids: everything) and prints the\n\
+             tables recorded in EXPERIMENTS.md. `--smoke` shrinks sizes,\n\
+             seeds and budgets to CI scale for every listed experiment.\n\nids\n",
+        );
+        for (id, title) in Self::KNOWN {
+            text.push_str(&format!("  {id:<4} {title}\n"));
+        }
+        text
+    }
 
     fn from_args() -> Self {
         let mut ids = Vec::new();
@@ -51,16 +138,21 @@ impl Selection {
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
                 "--smoke" => smoke = true,
+                "--help" | "-h" => {
+                    println!("{}", Self::usage());
+                    std::process::exit(0);
+                }
                 id if id.starts_with('-') => {
                     eprintln!("unknown flag {id}; usage: experiments [--smoke] [e1 e2 …]");
                     std::process::exit(2);
                 }
                 id => {
                     let id = id.to_ascii_lowercase();
-                    if !Self::KNOWN.contains(&id.as_str()) {
+                    if !Self::KNOWN.iter().any(|(known, _)| *known == id) {
+                        let ids: Vec<&str> = Self::KNOWN.iter().map(|(id, _)| *id).collect();
                         eprintln!(
                             "unknown experiment id `{id}`; known ids: {}",
-                            Self::KNOWN.join(", ")
+                            ids.join(", ")
                         );
                         std::process::exit(2);
                     }
@@ -81,7 +173,7 @@ fn main() {
     let seeds = if selection.smoke { 2u64 } else { 10u64 };
 
     if selection.wants("e1") {
-        header("E1", "Figure 1: hierarchy arrows and closure");
+        section("e1");
         println!(
             "{} direct arrows; closure checks:",
             direct_inclusions().len()
@@ -94,10 +186,7 @@ fn main() {
     }
 
     if selection.wants("e2") {
-        header(
-            "E2",
-            "Lemma 1 / Theorem 3.1: FTT and the omission attack on SKnO (I3)",
-        );
+        section("e2");
         println!(
             "{:>3} | {:>4} | {:>9} | {:>9} | {:>9} | verdict",
             "o", "FTT", "producers", "paired", "omissions"
@@ -127,10 +216,7 @@ fn main() {
     }
 
     if selection.wants("e3") {
-        header(
-            "E3",
-            "Theorem 3.2: the weak models I1/I2 fall without omissions",
-        );
+        section("e3");
         for m in [OneWayModel::I1, OneWayModel::I2] {
             let report = thm32_attack(m, Optimist::new(Pairing), OptimistState::new, 64, 256)
                 .expect("attack builds");
@@ -142,7 +228,7 @@ fn main() {
     }
 
     if selection.wants("e4") {
-        header("E4", "Theorem 3.3: graceful degradation threshold ≤ 1");
+        section("e4");
         let deg = ppfts_verify::degradation_report(
             OneWayModel::I3,
             Skno::new(Pairing, 1),
@@ -159,10 +245,7 @@ fn main() {
     }
 
     if selection.wants("e5") {
-        header(
-            "E5",
-            "Theorem 4.1: SKnO convergence on Pairing (I3, adversary at full budget)",
-        );
+        section("e5");
         println!(
             "    o | {:>5} | {:>11} | {:>12} | {:>10}",
             "n", "converged", "mean steps", "per-sim"
@@ -181,10 +264,7 @@ fn main() {
     }
 
     if selection.wants("e6") {
-        header(
-            "E6",
-            "Corollary 1 / Theorem 4.1: SKnO memory audit (peak tokens per agent)",
-        );
+        section("e6");
         println!(
             "{:>3} | {:>5} | {:>12} | bound Θ((o+1)·|Q|·log n): tokens ∝ (o+1)",
             "o", "n", "peak tokens"
@@ -198,10 +278,7 @@ fn main() {
     }
 
     if selection.wants("e7") {
-        header(
-            "E7",
-            "Theorem 4.5: SID convergence on Pairing (IO, unique IDs)",
-        );
+        section("e7");
         println!(
             "{:>5} | {:>11} | {:>12} | {:>10}",
             "n", "converged", "mean steps", "per-sim"
@@ -231,10 +308,7 @@ fn main() {
     }
 
     if selection.wants("e8") {
-        header(
-            "E8",
-            "Theorem 4.6 / Lemma 3: naming with knowledge of n, then simulation",
-        );
+        section("e8");
         println!("naming phase only:");
         println!(
             "{:>5} | {:>11} | {:>12} | {:>10}",
@@ -258,26 +332,17 @@ fn main() {
     }
 
     if selection.wants("e9") {
-        header(
-            "E9",
-            "Figure 4: run `cargo run --release -p ppfts-bench --bin figure4`",
-        );
+        section("e9");
         println!("(separate binary; every cell is execution-backed)");
     }
 
     if selection.wants("e10") {
-        header(
-            "E10",
-            "Flock-of-birds motivation: run `cargo run --example flock_of_birds`",
-        );
+        section("e10");
         println!("(threshold detection under omissive I3 with SKnO)");
     }
 
     if selection.wants("e11") {
-        header(
-            "E11",
-            "Giant-n epidemic on the count backend (n = 10²…10⁶, Θ(n log n))",
-        );
+        section("e11");
         println!("count backend (CountConfiguration — O(1) memory in n):");
         println!(
             "{:>7} | {:>11} | {:>12} | {:>10}",
@@ -306,10 +371,7 @@ fn main() {
     }
 
     if selection.wants("e12") {
-        header(
-            "E12",
-            "Graph-aware scheduling: epidemic broadcast by interaction topology",
-        );
+        section("e12");
         println!(
             "{:>8} | {:>7} | {:>11} | {:>12} | {:>10}",
             "family", "n", "converged", "mean steps", "per-agent"
@@ -344,10 +406,7 @@ fn main() {
     }
 
     if selection.wants("e13") {
-        header(
-            "E13",
-            "Graphical fault tolerance: SKnO/SID simulators on restricted graphs",
-        );
+        section("e13");
         let sizes: &[usize] = if selection.smoke { &[64] } else { &[64, 256] };
         let budget: u64 = if selection.smoke {
             4_000_000
@@ -401,10 +460,7 @@ fn main() {
     }
 
     if selection.wants("e15") {
-        header(
-            "E15",
-            "Batch-epoch epidemic sweep (n = 10²…10⁹, sub-ns per interaction)",
-        );
+        section("e15");
         println!("epoch path (run_epochs_until — O(d²) per ≈0.63·√n-step epoch):");
         println!(
             "{:>7} | {:>11} | {:>12} | {:>10}",
@@ -437,10 +493,7 @@ fn main() {
     }
 
     if selection.wants("e16") {
-        header(
-            "E16",
-            "Sharded dense stepping (graphical SKnO, fixed budget, threads × n)",
-        );
+        section("e16");
         let (sizes, steps): (&[usize], u64) = if selection.smoke {
             (&[256], 16_384)
         } else {
@@ -480,10 +533,7 @@ fn main() {
     }
 
     if selection.wants("e17") {
-        header(
-            "E17",
-            "Indexed simulation hot path: RunIndex vs scan-reference wall-clock",
-        );
+        section("e17");
         let (n, budget): (usize, u64) = if selection.smoke {
             (64, 2_000_000)
         } else {
@@ -523,6 +573,125 @@ fn main() {
              \u{d7} n = 256\u{2026}4096 wall-clock grid: BENCH_RESULTS.json, \
              e17_simulator_hotpath/*)"
         );
+    }
+
+    if selection.wants("e18") {
+        section("e18");
+        let (sizes, evals, fuzz_seeds): (&[usize], u64, u64) = if selection.smoke {
+            (&[16], 6, 2)
+        } else {
+            (&[64, 256], 12, 2)
+        };
+        let fuzz_one = |topology: Topology, o_sim: u32, o: u64, steps: u64| {
+            let target = FuzzTarget::new(topology, o_sim, o, (1..=fuzz_seeds).collect(), steps, 1);
+            let baseline = target.baseline().iter().filter(|b| b.converged).count();
+            let report = ppfts_fuzz::fuzz(
+                &target,
+                &FuzzConfig {
+                    budget: evals,
+                    rng_seed: 240,
+                    corpus_cap: 8,
+                },
+            );
+            (baseline, report)
+        };
+        let row = |label: &str, n: usize, steps: u64, baseline: usize, report: &FuzzReport| {
+            let s = report.best.severity;
+            println!(
+                "{:>12} | {:>5} | {:>10} | {:>9} | {:>6} | {:>7} | {:>5} | {:>10} | {}",
+                label,
+                n,
+                steps,
+                format!("{baseline}/{fuzz_seeds}"),
+                s.broken_seeds,
+                s.max_pending,
+                s.max_stall_depth,
+                s.max_steps,
+                report
+                    .first_break_at
+                    .map_or_else(|| "—".to_owned(), |at| format!("eval {at}")),
+            );
+        };
+        println!(
+            "control: the seeded mutant (o_sim = 0, schedule allowed 1 omission) \
+             must break; the provisioned simulator must survive the same budget.\n"
+        );
+        println!(
+            "{:>12} | {:>5} | {:>10} | {:>9} | {:>6} | {:>7} | {:>5} | {:>10} | first break",
+            "cell", "n", "steps", "baseline", "broken", "pending", "stall", "max steps"
+        );
+        // Control pair on the smallest complete graph.
+        let control_n = sizes[0].min(64);
+        let control_steps: u64 = if selection.smoke { 600_000 } else { 4_000_000 };
+        let complete = |n: usize| Topology::complete(n).expect("n ≥ 2");
+        let (b, r) = fuzz_one(complete(control_n), 0, 1, control_steps);
+        assert!(
+            r.broke(),
+            "seeded mutant must break (severity {:?})",
+            r.best.severity
+        );
+        row("weakened o=1", control_n, control_steps, b, &r);
+        let (b, r) = fuzz_one(complete(control_n), 1, 1, control_steps);
+        assert!(!r.broke(), "provisioned SKnO must survive the smoke budget");
+        row("skno o=1", control_n, control_steps, b, &r);
+
+        if !selection.smoke {
+            println!("\nseverity vs o (complete graph, provisioned o_sim = o):");
+            println!(
+                "{:>12} | {:>5} | {:>10} | {:>9} | {:>6} | {:>7} | {:>5} | {:>10} | first break",
+                "cell", "n", "steps", "baseline", "broken", "pending", "stall", "max steps"
+            );
+            for &n in sizes {
+                for o in [0u32, 1, 2] {
+                    // E13 fault-free means: o=1 n=64 ≈ 1.2e6, o=1 n=256
+                    // ≈ 1.6e7, o=2 n=64 ≈ 1.4e7; o=2 n=256 exhausts any
+                    // practical budget (honest 0-baseline row). The
+                    // attacked o=1 n=256 runs converge at ~3.2e7 — one
+                    // omission costs ≈ 2× fault-free — so budgets below
+                    // 48M mint spurious "broken" rows (budget artifact,
+                    // not a stall).
+                    let steps: u64 = match (o, n) {
+                        (0, _) => 1_000_000,
+                        (_, n) if n <= 64 => 24_000_000,
+                        _ => 48_000_000,
+                    };
+                    let (b, r) = fuzz_one(complete(n), o, u64::from(o), steps);
+                    row(&format!("complete o={o}"), n, steps, b, &r);
+                }
+            }
+            println!("\nseverity vs conductance (o = 1, families in increasing Φ):");
+            println!(
+                "{:>12} | {:>5} | {:>10} | {:>9} | {:>6} | {:>7} | {:>5} | {:>10} | first break",
+                "cell", "n", "steps", "baseline", "broken", "pending", "stall", "max steps"
+            );
+            for &n in sizes {
+                let families = [
+                    ("ring", Topology::ring(n).expect("n ≥ 4")),
+                    (
+                        "rr4",
+                        Topology::random_regular(n, E13_RR_DEGREE, E13_TOPOLOGY_SEED)
+                            .expect("rr4 is feasible"),
+                    ),
+                    ("complete", complete(n)),
+                ];
+                for (family, t) in families {
+                    // Sparse families exhaust any budget fault-free
+                    // (conductance limit), so 8M bounds their cost; the
+                    // complete graph gets the true-tolerance budget.
+                    let steps: u64 = match family {
+                        "complete" if n > 64 => 48_000_000,
+                        _ => 8_000_000,
+                    };
+                    let (b, r) = fuzz_one(t, 1, 1, steps);
+                    row(family, n, steps, b, &r);
+                }
+            }
+            println!(
+                "\n(ring/rr4 baselines exhaust the budget fault-free — E13's \
+                 conductance limit — so broken stays 0 there by construction \
+                 and severity is carried by the pressure columns)"
+            );
+        }
     }
 
     println!(

@@ -7,7 +7,7 @@
 //! All `measure_*` convergence harnesses run on the engine's batched
 //! [`StatsOnly`] path: interactions execute in batches of [`BATCH`] with
 //! the convergence predicate sampled only at batch boundaries and wrapped
-//! in [`stably`](ppfts_engine::convergence::stably), so a transient
+//! in [`stably`], so a transient
 //! mid-handshake projection can no longer end a run (the `run_until`
 //! sampling hazard the ROADMAP recorded). Reported step counts are batch
 //! aligned: they overshoot the instant the predicate first held by at

@@ -63,4 +63,4 @@ pub use ftt::{fastest_transition_time, transition_time, FttWitness};
 pub use matching::{build_matching, verify_derived_execution, Matching, MatchingError};
 pub use naming::{GossipPolicy, NamedSid, NamedState};
 pub use sid::{RollbackPolicy, Sid, SidPhase, SidState};
-pub use skno::{JokerBookkeeping, Skno, SknoState, Token};
+pub use skno::{sim_pressure, JokerBookkeeping, SimPressure, Skno, SknoState, Token};

@@ -589,7 +589,7 @@ fn token_of<Q: Clone>(key: &RunKeyRef<'_, Q>, index: u32) -> Token<Q> {
 /// flags and the inline queue head — everything a fault-free step reads —
 /// sit in the state's first cache line, the incremental census follows,
 /// and the rarely-touched spill/ghost fields trail. Combined with the
-/// inline-first [`TokenQueue`] and [`RunIndex`], a steady-state
+/// inline-first `TokenQueue` and `RunIndex` (both private), a steady-state
 /// interaction touches only the two endpoint states themselves: no
 /// per-agent heap pointers to chase, which is what makes the engine's
 /// batch-prefetch effective.
@@ -747,6 +747,47 @@ impl<Q: State> SknoState<Q> {
     pub fn owed(&self) -> impl Iterator<Item = &Token<Q>> {
         self.owed.iter()
     }
+}
+
+/// Aggregate progress-pressure diagnostics over a population of
+/// simulator states — the feedback signals the schedule fuzzer scores
+/// attacks by.
+///
+/// A run an adversary has successfully wedged shows up here as agents
+/// stuck `pending` (announcements that will never complete) and token
+/// queues that stopped draining; `stall_depth` is the deepest such
+/// queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimPressure {
+    /// Agents with an announcement in flight ([`SknoState::is_pending`]).
+    pub pending_agents: usize,
+    /// Total tokens queued for sending across all agents.
+    pub queued_tokens: usize,
+    /// Largest single-agent token footprint (queued + owed).
+    pub stall_depth: usize,
+}
+
+/// Measures [`SimPressure`] over a slice of simulator states (a dense
+/// configuration's `as_slice()`).
+///
+/// # Example
+///
+/// ```
+/// use ppfts_core::{sim_pressure, SknoState};
+///
+/// let states = [SknoState::new(false), SknoState::new(true)];
+/// let p = sim_pressure(&states);
+/// assert_eq!(p.pending_agents, 0);
+/// assert_eq!(p.stall_depth, 0);
+/// ```
+pub fn sim_pressure<Q: State>(states: &[SknoState<Q>]) -> SimPressure {
+    let mut pressure = SimPressure::default();
+    for s in states {
+        pressure.pending_agents += usize::from(s.is_pending());
+        pressure.queued_tokens += s.queued_tokens();
+        pressure.stall_depth = pressure.stall_depth.max(s.token_footprint());
+    }
+    pressure
 }
 
 /// The `SKnO` simulator: wraps a [`TwoWayProtocol`] into a

@@ -37,6 +37,36 @@ pub trait OmissionStrategy {
     /// Decides whether interaction number `step` is omissive.
     fn decide(&mut self, step: u64, rng: &mut dyn RngCore) -> bool;
 
+    /// Decides whether interaction number `step` is omissive, with sight
+    /// of the drawn pair.
+    ///
+    /// Runners call this entry point, passing the interaction they just
+    /// drew when the backend exposes agent identities (`None` on the
+    /// anonymous count backend). The default ignores the pair and
+    /// forwards to [`decide`](Self::decide), so existing strategies are
+    /// unaffected; only *targeted* strategies (e.g. the schedule
+    /// compiler's cut-vertex events) override it — and must also
+    /// override [`targeted`](Self::targeted) so runners can reject
+    /// backends that cannot supply the pair.
+    fn decide_at(
+        &mut self,
+        step: u64,
+        interaction: Option<ppfts_population::Interaction>,
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        let _ = interaction;
+        self.decide(step, rng)
+    }
+
+    /// Whether [`decide_at`](Self::decide_at) inspects the drawn pair.
+    ///
+    /// Targeted strategies return `true`; such strategies silently
+    /// degrade to their untargeted behaviour on backends that pass
+    /// `None` (the count backend has no agent identities to target).
+    fn targeted(&self) -> bool {
+        false
+    }
+
     /// Total omissions injected so far.
     fn injected(&self) -> u64;
 
@@ -81,6 +111,17 @@ pub trait OmissionStrategy {
 impl<A: OmissionStrategy + ?Sized> OmissionStrategy for &mut A {
     fn decide(&mut self, step: u64, rng: &mut dyn RngCore) -> bool {
         (**self).decide(step, rng)
+    }
+    fn decide_at(
+        &mut self,
+        step: u64,
+        interaction: Option<ppfts_population::Interaction>,
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        (**self).decide_at(step, interaction, rng)
+    }
+    fn targeted(&self) -> bool {
+        (**self).targeted()
     }
     fn injected(&self) -> u64 {
         (**self).injected()

@@ -12,7 +12,7 @@
 //! sampled *in bulk*:
 //!
 //! 1. the prefix length ℓ falls out of one uniform draw inverted against
-//!    the precomputed survival table ([`EpochLengths`]),
+//!    the precomputed survival table (`EpochLengths`, private),
 //! 2. the ℓ starter states are a multivariate hypergeometric split of the
 //!    state counts, the ℓ reactor states a second split of the remainder,
 //!    and the pairing between them a uniform matching (nested

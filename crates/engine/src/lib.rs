@@ -90,6 +90,7 @@ mod model;
 pub mod outcome;
 mod program;
 mod runner;
+mod schedule;
 mod scheduler;
 #[allow(unsafe_code)]
 mod shard;
@@ -111,6 +112,7 @@ pub use program::{validate_io_program, OneWayProgram, TwoWayProgram};
 pub use runner::{
     OneWayRunner, OneWayRunnerBuilder, Planned, RunOutcome, TwoWayRunner, TwoWayRunnerBuilder,
 };
+pub use schedule::{OmissionSchedule, RateSegment, ScheduledEvent};
 pub use scheduler::{
     InteractionLaw, RoundRobinScheduler, Scheduler, ScriptedScheduler, TopologyScheduler,
     UniformScheduler,

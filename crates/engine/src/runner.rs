@@ -137,7 +137,7 @@ macro_rules! runner_impl {
         program: $Program:ident,
         compute: |$model_:ident, $program_:ident, $fault_:ident, $s:ident, $r:ident| $compute:expr,
         fast: |$fmodel:ident, $fprogram:ident, $ffault:ident, $fs:ident, $fr:ident| $fast:expr,
-        decide: |$dself:ident, $didx:ident| $decide:expr,
+        decide: |$dself:ident, $didx:ident, $dint:ident| $decide:expr,
         bulk: |$bself:ident| $bulk:expr,
         mix: |$mmodel:ident, $mpolicy:ident, $mrate:ident| $mix:expr,
     ) => {
@@ -341,9 +341,14 @@ macro_rules! runner_impl {
                 Ok(())
             }
 
-            fn decide_fault(&mut self, index: u64) -> $Fault {
+            fn decide_fault(
+                &mut self,
+                index: u64,
+                interaction: Option<ppfts_population::Interaction>,
+            ) -> $Fault {
                 let $dself = self;
                 let $didx = index;
+                let $dint = interaction;
                 $decide
             }
 
@@ -358,8 +363,8 @@ macro_rules! runner_impl {
                 $bulk
             }
 
-            fn next_fault(&mut self) -> $Fault {
-                self.decide_fault(self.next_index)
+            fn next_fault(&mut self, pair: &C::Pair) -> $Fault {
+                self.decide_fault(self.next_index, C::interaction_of(pair))
             }
 
             /// Executes one scheduled interaction and returns its record.
@@ -372,7 +377,7 @@ macro_rules! runner_impl {
             /// schedulers.
             pub fn step(&mut self) -> Result<StepRecord<P::State, $Fault>, EngineError> {
                 let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
-                let fault = self.next_fault();
+                let fault = self.next_fault(&pair);
                 Ok(self
                     .execute(pair, fault, true)?
                     .expect("record requested"))
@@ -389,7 +394,7 @@ macro_rules! runner_impl {
                     let pair = self
                         .config
                         .draw_pair_with(&mut self.scheduler, &mut self.rng);
-                    let fault = self.next_fault();
+                    let fault = self.next_fault(&pair);
                     self.execute(pair, fault, false)?;
                 }
                 Ok(())
@@ -418,7 +423,8 @@ macro_rules! runner_impl {
                         &mut self.rng,
                     );
                     for (k, pair) in pairs.into_iter().enumerate() {
-                        let fault = self.decide_fault(self.next_index + k as u64);
+                        let fault =
+                            self.decide_fault(self.next_index + k as u64, C::interaction_of(&pair));
                         plan.push(Drawn { pair, fault });
                     }
                     return;
@@ -427,7 +433,7 @@ macro_rules! runner_impl {
                     let pair = self
                         .config
                         .draw_pair_with(&mut self.scheduler, &mut self.rng);
-                    let fault = self.decide_fault(self.next_index + k);
+                    let fault = self.decide_fault(self.next_index + k, C::interaction_of(&pair));
                     plan.push(Drawn { pair, fault });
                 }
             }
@@ -539,7 +545,7 @@ macro_rules! runner_impl {
                     let pair = self
                         .config
                         .draw_pair_with(&mut self.scheduler, &mut self.rng);
-                    let fault = self.next_fault();
+                    let fault = self.next_fault(&pair);
                     if self.execute(pair, fault, false).is_err() {
                         break;
                     }
@@ -816,7 +822,7 @@ macro_rules! runner_impl {
                 let mut quiet = 0u64;
                 for _ in 0..max_steps {
                     let pair = self.config.draw_pair(&mut self.scheduler, &mut self.rng);
-                    let fault = self.next_fault();
+                    let fault = self.next_fault(&pair);
                     let before = self.stats.changed_steps;
                     if self.execute(pair, fault, false).is_err() {
                         break;
@@ -1329,9 +1335,9 @@ runner_impl! {
     program: OneWayProgram,
     compute: |model, program, fault, s, r| outcome::one_way(model, program, s, r, fault),
     fast: |model, program, fault, s, r| outcome::one_way_in_place(model, program, s, r, fault),
-    decide: |this, index| {
+    decide: |this, index, interaction| {
         if this.model.allows_omissions()
-            && this.adversary.decide(index, &mut this.rng)
+            && this.adversary.decide_at(index, interaction, &mut this.rng)
         {
             OneWayFault::Omission
         } else {
@@ -1371,9 +1377,9 @@ runner_impl! {
     program: TwoWayProgram,
     compute: |model, program, fault, s, r| outcome::two_way(model, program, s, r, fault),
     fast: |model, program, fault, s, r| outcome::two_way_in_place(model, program, s, r, fault),
-    decide: |this, index| {
+    decide: |this, index, interaction| {
         if this.model.allows_omissions()
-            && this.adversary.decide(index, &mut this.rng)
+            && this.adversary.decide_at(index, interaction, &mut this.rng)
         {
             this.side_policy.pick(this.model, &mut this.rng)
         } else {

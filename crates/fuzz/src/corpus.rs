@@ -1,0 +1,138 @@
+//! The severity-ordered corpus.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::{AttackSeverity, ScheduleGenome};
+
+/// A corpus entry: a genome with the severity its evaluation earned.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoredGenome {
+    /// The attack description.
+    pub genome: ScheduleGenome,
+    /// Its score against the target.
+    pub severity: AttackSeverity,
+}
+
+/// A bounded, severity-ordered pool of interesting genomes.
+///
+/// Entries are kept sorted most-severe first; inserting past capacity
+/// evicts the weakest. A genome only enters if it is not already
+/// present and its severity beats the current weakest entry (or there
+/// is room), so the corpus ratchets monotonically toward worse attacks.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    entries: Vec<ScoredGenome>,
+    cap: usize,
+}
+
+impl Corpus {
+    /// An empty corpus holding at most `cap` genomes (`cap >= 1`).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Corpus {
+            entries: Vec::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Offers a scored genome. Returns `true` if it entered the corpus.
+    pub fn add(&mut self, genome: ScheduleGenome, severity: AttackSeverity) -> bool {
+        if self.entries.iter().any(|e| e.genome == genome) {
+            return false;
+        }
+        if self.entries.len() >= self.cap
+            && self.entries.last().is_some_and(|w| severity <= w.severity)
+        {
+            return false;
+        }
+        let at = self.entries.partition_point(|e| e.severity >= severity);
+        self.entries.insert(at, ScoredGenome { genome, severity });
+        self.entries.truncate(self.cap);
+        true
+    }
+
+    /// The most severe entry, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&ScoredGenome> {
+        self.entries.first()
+    }
+
+    /// Picks a parent, biased toward the severe end (rank selection:
+    /// the head of the corpus is sampled quadratically more often).
+    #[must_use]
+    pub fn pick<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a ScoredGenome> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let a = rng.gen_range(0..self.entries.len());
+        let b = rng.gen_range(0..self.entries.len());
+        Some(&self.entries[a.min(b)])
+    }
+
+    /// Number of genomes currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfts_engine::ScheduledEvent;
+    use rand::SeedableRng;
+
+    fn genome(step: u64) -> ScheduleGenome {
+        ScheduleGenome {
+            events: vec![ScheduledEvent::at(step)],
+            segments: vec![],
+            salt: 0,
+        }
+    }
+
+    fn severity(broken: u32, pending: u32) -> AttackSeverity {
+        AttackSeverity {
+            broken_seeds: broken,
+            max_pending: pending,
+            ..AttackSeverity::default()
+        }
+    }
+
+    #[test]
+    fn corpus_keeps_the_most_severe_and_dedups() {
+        let mut corpus = Corpus::new(2);
+        assert!(corpus.add(genome(1), severity(0, 1)));
+        assert!(corpus.add(genome(2), severity(1, 0)));
+        assert!(!corpus.add(genome(1), severity(9, 9)), "dup rejected");
+        // Capacity eviction: weakest goes.
+        assert!(corpus.add(genome(3), severity(0, 5)));
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.best().unwrap().severity, severity(1, 0));
+        // Too weak to enter a full corpus.
+        assert!(!corpus.add(genome(4), severity(0, 2)));
+    }
+
+    #[test]
+    fn pick_prefers_the_head() {
+        let mut corpus = Corpus::new(8);
+        for i in 0..8 {
+            corpus.add(genome(i), severity(0, 8 - i as u32));
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        let head_hits = (0..400)
+            .filter(|_| {
+                let p = corpus.pick(&mut rng).unwrap();
+                p.severity.max_pending >= 7
+            })
+            .count();
+        // Quadratic rank selection: the top quarter dominates.
+        assert!(head_hits > 80, "head picked only {head_hits}/400");
+    }
+}

@@ -1,0 +1,298 @@
+//! The serializable attack description.
+
+use std::fmt;
+
+use ppfts_engine::{OmissionSchedule, RateSegment, ScheduledEvent};
+use ppfts_verify::json::{self, Value};
+
+/// A schedule genome: the fuzzer's unit of mutation and the on-disk
+/// form of a found attack.
+///
+/// A genome is pure data — one-shot omission events, rate segments, and
+/// the hash salt decorrelating segment decisions. [`compile`](Self::compile)
+/// turns it into the engine's deterministic
+/// [`OmissionSchedule`]; [`to_json`](Self::to_json) /
+/// [`from_json`](Self::from_json) round-trip it losslessly, so a found
+/// attack replays bit-identically from its JSON file.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_fuzz::ScheduleGenome;
+///
+/// let g = ScheduleGenome::from_json(
+///     r#"{"salt": 7, "events": [{"from": 3, "until": 4}], "segments": []}"#,
+/// )?;
+/// assert_eq!(ScheduleGenome::from_json(&g.to_json())?, g);
+/// # Ok::<(), ppfts_fuzz::GenomeError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleGenome {
+    /// One-shot omission events (timed, optionally targeted).
+    pub events: Vec<ScheduledEvent>,
+    /// Hash-Bernoulli rate segments.
+    pub segments: Vec<RateSegment>,
+    /// Segment-decorrelation salt. Kept within `u32` range so it
+    /// survives the JSON number round-trip exactly.
+    pub salt: u64,
+}
+
+/// Why a genome failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenomeError {
+    /// The input is not valid JSON.
+    Json(String),
+    /// A required field is missing or has the wrong type.
+    Field(&'static str),
+    /// A field value is out of range (e.g. a rate outside `[0, 1]`, or
+    /// an empty window).
+    Range(&'static str),
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::Json(e) => write!(f, "genome is not valid JSON: {e}"),
+            GenomeError::Field(name) => write!(f, "genome field {name} missing or mistyped"),
+            GenomeError::Range(what) => write!(f, "genome value out of range: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GenomeError {}
+
+impl ScheduleGenome {
+    /// The empty genome: no events, no segments, salt 0.
+    #[must_use]
+    pub fn empty() -> Self {
+        ScheduleGenome {
+            events: Vec::new(),
+            segments: Vec::new(),
+            salt: 0,
+        }
+    }
+
+    /// Compiles the genome into the engine's deterministic adversary,
+    /// capped at `limit` total injections (the adversary-class budget,
+    /// e.g. SKnO's `o`).
+    #[must_use]
+    pub fn compile(&self, limit: Option<u64>) -> OmissionSchedule {
+        OmissionSchedule::new(self.events.clone(), self.segments.clone(), limit, self.salt)
+    }
+
+    /// Worst-case omissions this genome can inject before any cap: the
+    /// event count plus the total segment window length.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        let windows: u64 = self
+            .segments
+            .iter()
+            .map(|s| s.until.saturating_sub(s.from))
+            .fold(0u64, u64::saturating_add);
+        (self.events.len() as u64).saturating_add(windows)
+    }
+
+    /// Serializes the genome to its canonical JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| match e.target {
+                Some(t) => format!(
+                    r#"{{"from": {}, "until": {}, "target": {}}}"#,
+                    e.from, e.until, t
+                ),
+                None => format!(r#"{{"from": {}, "until": {}}}"#, e.from, e.until),
+            })
+            .collect();
+        let segments: Vec<String> = self
+            .segments
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"from": {}, "until": {}, "rate": {}}}"#,
+                    s.from,
+                    s.until,
+                    fmt_rate(s.rate)
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"salt": {}, "events": [{}], "segments": [{}]}}"#,
+            self.salt,
+            events.join(", "),
+            segments.join(", ")
+        )
+    }
+
+    /// Parses a genome from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`GenomeError::Json`] on malformed JSON, [`GenomeError::Field`]
+    /// on missing/mistyped fields, [`GenomeError::Range`] on empty
+    /// windows or rates outside `[0, 1]`.
+    pub fn from_json(input: &str) -> Result<Self, GenomeError> {
+        let value = json::parse(input).map_err(|e| GenomeError::Json(e.to_string()))?;
+        let salt = value
+            .get("salt")
+            .and_then(Value::as_u64)
+            .ok_or(GenomeError::Field("salt"))?;
+        let mut events = Vec::new();
+        for e in value
+            .get("events")
+            .and_then(Value::as_arr)
+            .ok_or(GenomeError::Field("events"))?
+        {
+            let from = e
+                .get("from")
+                .and_then(Value::as_u64)
+                .ok_or(GenomeError::Field("events[].from"))?;
+            let until = e
+                .get("until")
+                .and_then(Value::as_u64)
+                .ok_or(GenomeError::Field("events[].until"))?;
+            let target = match e.get("target") {
+                None | Some(Value::Null) => None,
+                Some(t) => Some(t.as_u64().ok_or(GenomeError::Field("events[].target"))? as usize),
+            };
+            if until <= from {
+                return Err(GenomeError::Range("event window is empty"));
+            }
+            events.push(ScheduledEvent {
+                from,
+                until,
+                target,
+            });
+        }
+        let mut segments = Vec::new();
+        for s in value
+            .get("segments")
+            .and_then(Value::as_arr)
+            .ok_or(GenomeError::Field("segments"))?
+        {
+            let from = s
+                .get("from")
+                .and_then(Value::as_u64)
+                .ok_or(GenomeError::Field("segments[].from"))?;
+            let until = s
+                .get("until")
+                .and_then(Value::as_u64)
+                .ok_or(GenomeError::Field("segments[].until"))?;
+            let rate = s
+                .get("rate")
+                .and_then(Value::as_f64)
+                .ok_or(GenomeError::Field("segments[].rate"))?;
+            if until <= from {
+                return Err(GenomeError::Range("segment window is empty"));
+            }
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(GenomeError::Range("segment rate outside [0, 1]"));
+            }
+            segments.push(RateSegment { from, until, rate });
+        }
+        Ok(ScheduleGenome {
+            events,
+            segments,
+            salt,
+        })
+    }
+}
+
+/// Formats a rate so it parses back to the same `f64` and is always a
+/// JSON number with a decimal point (never `1` for `1.0`, which would
+/// still parse, but keeps the canonical form stable).
+fn fmt_rate(rate: f64) -> String {
+    let s = format!("{rate}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScheduleGenome {
+        ScheduleGenome {
+            events: vec![
+                ScheduledEvent {
+                    from: 10,
+                    until: 200,
+                    target: Some(3),
+                },
+                ScheduledEvent::at(55),
+            ],
+            segments: vec![RateSegment {
+                from: 0,
+                until: 64,
+                rate: 0.125,
+            }],
+            salt: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let g = sample();
+        let parsed = ScheduleGenome::from_json(&g.to_json()).unwrap();
+        assert_eq!(parsed, g);
+        // And the canonical form is a fixed point.
+        assert_eq!(parsed.to_json(), g.to_json());
+    }
+
+    #[test]
+    fn missing_and_mistyped_fields_are_reported() {
+        assert!(matches!(
+            ScheduleGenome::from_json("{"),
+            Err(GenomeError::Json(_))
+        ));
+        assert_eq!(
+            ScheduleGenome::from_json(r#"{"events": [], "segments": []}"#),
+            Err(GenomeError::Field("salt"))
+        );
+        assert_eq!(
+            ScheduleGenome::from_json(r#"{"salt": 1, "events": 3, "segments": []}"#),
+            Err(GenomeError::Field("events"))
+        );
+        assert_eq!(
+            ScheduleGenome::from_json(
+                r#"{"salt": 1, "events": [{"from": 5, "until": 5}], "segments": []}"#
+            ),
+            Err(GenomeError::Range("event window is empty"))
+        );
+        assert_eq!(
+            ScheduleGenome::from_json(
+                r#"{"salt": 1, "events": [], "segments": [{"from": 0, "until": 9, "rate": 1.5}]}"#
+            ),
+            Err(GenomeError::Range("segment rate outside [0, 1]"))
+        );
+    }
+
+    #[test]
+    fn null_target_reads_as_untargeted() {
+        let g = ScheduleGenome::from_json(
+            r#"{"salt": 0, "events": [{"from": 1, "until": 2, "target": null}], "segments": []}"#,
+        )
+        .unwrap();
+        assert_eq!(g.events[0].target, None);
+    }
+
+    #[test]
+    fn capacity_sums_events_and_windows() {
+        assert_eq!(sample().capacity(), 2 + 64);
+        assert_eq!(ScheduleGenome::empty().capacity(), 0);
+    }
+
+    #[test]
+    fn compile_preserves_the_description() {
+        let g = sample();
+        let compiled = g.compile(Some(2));
+        assert_eq!(compiled.events(), g.events.as_slice());
+        assert_eq!(compiled.segments(), g.segments.as_slice());
+        assert_eq!(compiled.salt(), g.salt);
+    }
+}

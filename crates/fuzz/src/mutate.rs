@@ -1,0 +1,359 @@
+//! Mutation operators over schedule genomes.
+//!
+//! All operators are deterministic functions of the genome and the RNG
+//! state: re-seeding the fuzzer replays the exact same mutation
+//! sequence (pinned by proptests in `tests/genome_roundtrip.rs`).
+
+use ppfts_engine::{RateSegment, ScheduledEvent};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore};
+
+use crate::ScheduleGenome;
+
+/// Bounds and hints the mutators work within.
+#[derive(Clone, Copy, Debug)]
+pub struct MutationCtx<'a> {
+    /// Horizon for event/segment placement (the per-run step budget).
+    pub max_step: u64,
+    /// Vertices of the topology's best sweep cut — the re-target
+    /// mutator aims events at these, since omissions crossing the
+    /// sparsest cut starve the conductance bottleneck.
+    pub cut_vertices: &'a [usize],
+    /// Number of agents (targets are sampled below this when the cut
+    /// list is empty, e.g. on the complete graph).
+    pub population: usize,
+    /// Cap on the event count (the adversary-class budget: more events
+    /// than the injection cap are dead weight).
+    pub max_events: usize,
+}
+
+/// Upper bound on segments per genome: enough for burst shapes, small
+/// enough to keep `permits`-style scans cheap.
+const MAX_SEGMENTS: usize = 4;
+
+/// Uniform `f64` in `[0, 1)` from 53 random bits (the shimmed `rand`
+/// has no float ranges).
+fn unit(rng: &mut SmallRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Draws a fresh random genome: up to `max_events` events (half of them
+/// targeted when targets exist) and at most one initial rate segment.
+pub fn random_genome(ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> ScheduleGenome {
+    let mut genome = ScheduleGenome::empty();
+    genome.salt = u64::from(rng.next_u32());
+    let events = if ctx.max_events == 0 {
+        0
+    } else {
+        rng.gen_range(1..=ctx.max_events)
+    };
+    for _ in 0..events {
+        genome.events.push(random_event(ctx, rng));
+    }
+    if rng.gen_bool(0.5) {
+        genome.segments.push(random_segment(ctx, rng));
+    }
+    genome
+}
+
+/// Applies one randomly chosen mutation operator and returns the child.
+///
+/// Operators: time-shift, window resize, re-target (toward cut
+/// vertices), event add/drop, segment split ("burst split"), adjacent
+/// segment merge, rate jitter, segment add/drop, re-salt.
+#[must_use]
+pub fn mutate(
+    genome: &ScheduleGenome,
+    ctx: &MutationCtx<'_>,
+    rng: &mut SmallRng,
+) -> ScheduleGenome {
+    let mut child = genome.clone();
+    // Try operators until one applies; each draw is deterministic in
+    // the RNG state, and at least re-salt always applies.
+    for _ in 0..8 {
+        let applied = match rng.gen_range(0..9u32) {
+            0 => time_shift(&mut child, ctx, rng),
+            1 => resize_window(&mut child, ctx, rng),
+            2 => retarget(&mut child, ctx, rng),
+            3 => add_or_drop_event(&mut child, ctx, rng),
+            4 => split_segment(&mut child, rng),
+            5 => merge_segments(&mut child),
+            6 => jitter_rate(&mut child, rng),
+            7 => add_or_drop_segment(&mut child, ctx, rng),
+            _ => {
+                child.salt = u64::from(rng.next_u32());
+                true
+            }
+        };
+        if applied {
+            break;
+        }
+    }
+    child
+}
+
+/// One-point crossover: the child takes a prefix of `a`'s events and
+/// the complementary suffix of `b`'s, plus one parent's segments and
+/// the other's salt.
+#[must_use]
+pub fn crossover(
+    a: &ScheduleGenome,
+    b: &ScheduleGenome,
+    ctx: &MutationCtx<'_>,
+    rng: &mut SmallRng,
+) -> ScheduleGenome {
+    let take_a = if a.events.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=a.events.len())
+    };
+    let mut events: Vec<ScheduledEvent> = a.events.iter().take(take_a).copied().collect();
+    events.extend(b.events.iter().skip(take_a.min(b.events.len())).copied());
+    events.truncate(ctx.max_events.max(1));
+    let (segments, salt) = if rng.gen_bool(0.5) {
+        (a.segments.clone(), b.salt)
+    } else {
+        (b.segments.clone(), a.salt)
+    };
+    ScheduleGenome {
+        events,
+        segments,
+        salt,
+    }
+}
+
+fn random_event(ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> ScheduledEvent {
+    let from = rng.gen_range(0..ctx.max_step.max(1));
+    let len = rng.gen_range(1..=(ctx.max_step / 4).max(1));
+    let target = if rng.gen_bool(0.5) {
+        random_target(ctx, rng)
+    } else {
+        None
+    };
+    ScheduledEvent {
+        from,
+        until: from.saturating_add(len),
+        target,
+    }
+}
+
+fn random_target(ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> Option<usize> {
+    if !ctx.cut_vertices.is_empty() {
+        Some(ctx.cut_vertices[rng.gen_range(0..ctx.cut_vertices.len())])
+    } else if ctx.population > 0 {
+        Some(rng.gen_range(0..ctx.population))
+    } else {
+        None
+    }
+}
+
+fn random_segment(ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> RateSegment {
+    let from = rng.gen_range(0..ctx.max_step.max(1));
+    let len = rng.gen_range(1..=(ctx.max_step / 4).max(1));
+    RateSegment {
+        from,
+        until: from.saturating_add(len),
+        rate: 0.01 + 0.49 * unit(rng),
+    }
+}
+
+fn time_shift(g: &mut ScheduleGenome, ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> bool {
+    if g.events.is_empty() {
+        return false;
+    }
+    let i = rng.gen_range(0..g.events.len());
+    let width = g.events[i].until - g.events[i].from;
+    let delta = rng.gen_range(1..=(ctx.max_step / 8).max(1));
+    let from = if rng.gen_bool(0.5) {
+        g.events[i].from.saturating_add(delta).min(ctx.max_step)
+    } else {
+        g.events[i].from.saturating_sub(delta)
+    };
+    g.events[i].from = from;
+    g.events[i].until = from.saturating_add(width.max(1));
+    true
+}
+
+fn resize_window(g: &mut ScheduleGenome, ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> bool {
+    if g.events.is_empty() {
+        return false;
+    }
+    let i = rng.gen_range(0..g.events.len());
+    let len = rng.gen_range(1..=(ctx.max_step / 4).max(1));
+    g.events[i].until = g.events[i].from.saturating_add(len);
+    true
+}
+
+fn retarget(g: &mut ScheduleGenome, ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> bool {
+    if g.events.is_empty() {
+        return false;
+    }
+    let i = rng.gen_range(0..g.events.len());
+    g.events[i].target = if rng.gen_bool(0.25) {
+        None
+    } else {
+        random_target(ctx, rng)
+    };
+    true
+}
+
+fn add_or_drop_event(g: &mut ScheduleGenome, ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> bool {
+    if g.events.len() < ctx.max_events && (g.events.is_empty() || rng.gen_bool(0.5)) {
+        g.events.push(random_event(ctx, rng));
+        true
+    } else if !g.events.is_empty() {
+        let i = rng.gen_range(0..g.events.len());
+        g.events.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Burst split: cuts one segment at an interior point into two halves
+/// (the right half keeps the rate, so the fuzzer can then diverge them).
+fn split_segment(g: &mut ScheduleGenome, rng: &mut SmallRng) -> bool {
+    if g.segments.is_empty() || g.segments.len() >= MAX_SEGMENTS {
+        return false;
+    }
+    let i = rng.gen_range(0..g.segments.len());
+    let s = g.segments[i];
+    if s.until - s.from < 2 {
+        return false;
+    }
+    let cut = rng.gen_range(s.from + 1..s.until);
+    g.segments[i].until = cut;
+    g.segments.insert(
+        i + 1,
+        RateSegment {
+            from: cut,
+            until: s.until,
+            rate: s.rate,
+        },
+    );
+    true
+}
+
+/// Burst merge: joins the first adjacent (or overlapping) segment pair
+/// into one covering window at the average rate.
+fn merge_segments(g: &mut ScheduleGenome) -> bool {
+    for i in 0..g.segments.len().saturating_sub(1) {
+        let (a, b) = (g.segments[i], g.segments[i + 1]);
+        if b.from <= a.until {
+            g.segments[i] = RateSegment {
+                from: a.from,
+                until: a.until.max(b.until),
+                rate: (a.rate + b.rate) / 2.0,
+            };
+            g.segments.remove(i + 1);
+            return true;
+        }
+    }
+    false
+}
+
+fn jitter_rate(g: &mut ScheduleGenome, rng: &mut SmallRng) -> bool {
+    if g.segments.is_empty() {
+        return false;
+    }
+    let i = rng.gen_range(0..g.segments.len());
+    let factor = 0.5 + 1.5 * unit(rng);
+    g.segments[i].rate = (g.segments[i].rate * factor).clamp(0.0, 1.0);
+    true
+}
+
+fn add_or_drop_segment(g: &mut ScheduleGenome, ctx: &MutationCtx<'_>, rng: &mut SmallRng) -> bool {
+    if g.segments.len() < MAX_SEGMENTS && (g.segments.is_empty() || rng.gen_bool(0.5)) {
+        g.segments.push(random_segment(ctx, rng));
+        true
+    } else if !g.segments.is_empty() {
+        let i = rng.gen_range(0..g.segments.len());
+        g.segments.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx(cut: &[usize]) -> MutationCtx<'_> {
+        MutationCtx {
+            max_step: 1000,
+            cut_vertices: cut,
+            population: 16,
+            max_events: 3,
+        }
+    }
+
+    #[test]
+    fn mutate_is_deterministic_in_the_rng_seed() {
+        let cut = [2usize, 5];
+        let c = ctx(&cut);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let base = random_genome(&c, &mut rng);
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut g = base.clone();
+            for _ in 0..50 {
+                g = mutate(&g, &c, &mut rng);
+            }
+            g
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn mutants_respect_structural_invariants() {
+        let cut = [0usize, 1, 2];
+        let c = ctx(&cut);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut g = random_genome(&c, &mut rng);
+        for _ in 0..500 {
+            g = mutate(&g, &c, &mut rng);
+            assert!(g.events.len() <= c.max_events);
+            assert!(g.segments.len() <= MAX_SEGMENTS);
+            for e in &g.events {
+                assert!(e.until > e.from, "event window must be non-empty");
+            }
+            for s in &g.segments {
+                assert!(s.until > s.from, "segment window must be non-empty");
+                assert!((0.0..=1.0).contains(&s.rate));
+            }
+        }
+    }
+
+    #[test]
+    fn retarget_prefers_cut_vertices() {
+        let cut = [7usize];
+        let c = ctx(&cut);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen_cut_target = false;
+        for _ in 0..200 {
+            let g = random_genome(&c, &mut rng);
+            if g.events.iter().any(|e| e.target == Some(7)) {
+                seen_cut_target = true;
+                break;
+            }
+        }
+        assert!(seen_cut_target, "targeted events should aim at the cut");
+    }
+
+    #[test]
+    fn crossover_mixes_parents_within_caps() {
+        let cut = [1usize];
+        let c = ctx(&cut);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = random_genome(&c, &mut rng);
+        let b = random_genome(&c, &mut rng);
+        for _ in 0..50 {
+            let child = crossover(&a, &b, &c, &mut rng);
+            assert!(child.events.len() <= c.max_events);
+            assert!(child.salt == a.salt || child.salt == b.salt);
+        }
+    }
+}

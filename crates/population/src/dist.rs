@@ -517,6 +517,58 @@ impl AliasTable {
     }
 }
 
+/// SplitMix64 finalizer: a fast, high-quality bijective mixer on `u64`.
+///
+/// Used by [`hash_bernoulli`] to derive per-step pseudo-random decisions
+/// without consuming state from a stream RNG, so callers stay replayable
+/// and compatible with bulk pair drawing (`uses_rng() == false` paths).
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Bernoulli trial keyed by `(key, salt)`.
+///
+/// Returns `true` with probability `rate` (clamped to `[0, 1]`) as a pure
+/// function of its arguments: the same `(key, salt, rate)` triple always
+/// yields the same answer. The decision compares `splitmix64(key ^
+/// splitmix64(salt))`, interpreted as a uniform draw on `[0, 2⁶⁴)`,
+/// against `rate` scaled to the same range.
+///
+/// This is the primitive behind rate segments in omission-fault
+/// schedules: an adversary built from it needs no RNG stream, so runs
+/// replay bit-identically and the engine's batched pair-draw fast path
+/// stays enabled.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_population::dist::hash_bernoulli;
+///
+/// // Pure in its arguments.
+/// assert_eq!(hash_bernoulli(42, 7, 0.3), hash_bernoulli(42, 7, 0.3));
+/// // Degenerate rates are exact.
+/// assert!(!hash_bernoulli(1, 2, 0.0));
+/// assert!(hash_bernoulli(1, 2, 1.0));
+/// ```
+#[must_use]
+pub fn hash_bernoulli(key: u64, salt: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let draw = splitmix64(key ^ splitmix64(salt));
+    // Threshold in [0, 2^64): use 2^64 · rate via the 2^63 ladder to stay
+    // inside f64→u64 range.
+    let threshold = (rate * 2.0 * 9_223_372_036_854_775_808.0) as u64;
+    draw < threshold
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -891,6 +943,33 @@ mod tests {
         assert!(AliasTable::new(&[1.0, -0.5]).is_none());
         assert!(AliasTable::new(&[f64::NAN]).is_none());
         assert!(AliasTable::new(&[f64::INFINITY, 1.0]).is_none());
+    }
+
+    #[test]
+    fn hash_bernoulli_is_deterministic_and_calibrated() {
+        // Pure function of (key, salt, rate).
+        for key in 0..64u64 {
+            assert_eq!(hash_bernoulli(key, 99, 0.25), hash_bernoulli(key, 99, 0.25));
+        }
+        // Distinct salts decorrelate the key stream.
+        let same = (0..512u64)
+            .filter(|&k| hash_bernoulli(k, 1, 0.5) == hash_bernoulli(k, 2, 0.5))
+            .count();
+        assert!((130..380).contains(&same), "salts too correlated: {same}");
+        // Empirical frequency tracks the requested rate.
+        for &rate in &[0.1, 0.5, 0.9] {
+            let trials = 20_000u64;
+            let hits = (0..trials).filter(|&k| hash_bernoulli(k, 7, rate)).count() as f64;
+            let freq = hits / trials as f64;
+            assert!((freq - rate).abs() < 0.02, "rate {rate}: observed {freq}");
+        }
+    }
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // Reference values from the canonical SplitMix64 (Vigna).
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
     }
 
     #[test]

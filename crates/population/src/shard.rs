@@ -35,7 +35,7 @@
 use crate::interaction::Interaction;
 
 /// A partition of an interaction batch into ordered, agent-disjoint
-/// levels. See the [module docs](self) for the construction and the
+/// levels. See the module docs for the construction and the
 /// determinism argument.
 ///
 /// The plan holds *indices into the batch*, not the interactions

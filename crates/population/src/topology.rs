@@ -261,7 +261,7 @@ enum Repr {
 /// `0..len`, stored so that uniform random *arc* (ordered-edge) draws are
 /// O(1).
 ///
-/// See the [module docs](self) for the role topologies play in the
+/// See the module docs for the role topologies play in the
 /// scheduling layer and the example below for the query surface.
 ///
 /// # Example
@@ -936,6 +936,43 @@ impl Topology {
     /// orders vertices by `x`, evaluates every prefix cut incrementally,
     /// and returns the best conductance found.
     fn sweep_conductance(&self) -> f64 {
+        self.sweep_cut().0
+    }
+
+    /// The smaller-volume side of the best sweep cut, as a sorted vertex
+    /// list.
+    ///
+    /// These are the vertices a conductance-seeking adversary should
+    /// isolate: the sweep cut is the (approximate) sparsest cut behind
+    /// [`Topology::conductance`]'s estimate, so omitting interactions
+    /// that cross it starves the bottleneck the E13 experiments showed
+    /// limits SKnO's fault tolerance. Returns an empty vector for the
+    /// implicit complete graph (every balanced cut is equally good, so
+    /// no vertex is special) and for graphs with fewer than two
+    /// vertices.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ppfts_population::Topology;
+    ///
+    /// let ring = Topology::ring(32)?;
+    /// let side = ring.sweep_cut_vertices();
+    /// // The sparsest ring cut is (close to) a half-ring arc.
+    /// assert!(!side.is_empty() && side.len() <= 16);
+    /// assert!(Topology::complete(32)?.sweep_cut_vertices().is_empty());
+    /// # Ok::<(), ppfts_population::TopologyError>(())
+    /// ```
+    pub fn sweep_cut_vertices(&self) -> Vec<usize> {
+        if matches!(self.repr, Repr::Complete { .. }) || self.len() < 2 {
+            return Vec::new();
+        }
+        self.sweep_cut().1
+    }
+
+    /// Shared sweep-cut engine: best prefix conductance plus the
+    /// smaller-volume side of the argmin prefix (sorted).
+    fn sweep_cut(&self) -> (f64, Vec<usize>) {
         let n = self.len();
         let (_, eigvec) = self.spectral_inner(SWEEP_POWER_ITERS);
         let mut order: Vec<usize> = (0..n).collect();
@@ -949,7 +986,9 @@ impl Topology {
         let mut cut = 0isize;
         let mut vol = 0usize;
         let mut best = f64::INFINITY;
-        for &u in order.iter().take(n - 1) {
+        let mut best_len = 0usize;
+        let mut best_prefix_is_smaller = true;
+        for (i, &u) in order.iter().take(n - 1).enumerate() {
             let d = self.degree(u);
             let into_s = self.neighbors(u).filter(|&w| in_s[w]).count();
             cut += d as isize - 2 * into_s as isize;
@@ -957,10 +996,21 @@ impl Topology {
             in_s[u] = true;
             let denom = vol.min(total_vol - vol);
             if denom > 0 {
-                best = best.min(cut as f64 / denom as f64);
+                let phi = cut as f64 / denom as f64;
+                if phi < best {
+                    best = phi;
+                    best_len = i + 1;
+                    best_prefix_is_smaller = vol <= total_vol - vol;
+                }
             }
         }
-        best
+        let mut side: Vec<usize> = if best_prefix_is_smaller {
+            order[..best_len].to_vec()
+        } else {
+            order[best_len..].to_vec()
+        };
+        side.sort_unstable();
+        (best, side)
     }
 
     /// Vertices reachable from vertex 0 (BFS over the CSR arrays; the
@@ -1396,6 +1446,56 @@ mod tests {
                 "{t}: Cheeger violated — gap {gap}, Φ {phi}"
             );
         }
+    }
+
+    #[test]
+    fn sweep_cut_vertices_recovers_ring_arc() {
+        let n = 64;
+        let ring = Topology::ring(n).unwrap();
+        let side = ring.sweep_cut_vertices();
+        // A sparsest ring cut is a contiguous arc of about half the ring.
+        assert!(!side.is_empty() && side.len() <= n / 2, "{side:?}");
+        // Contiguity modulo n: crossing edges out of the arc number 2.
+        let in_side: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &u in &side {
+                v[u] = true;
+            }
+            v
+        };
+        let crossing = (0..n)
+            .filter(|&u| in_side[u])
+            .map(|u| ring.neighbors(u).filter(|&w| !in_side[w]).count())
+            .sum::<usize>();
+        assert_eq!(crossing, 2, "sweep side is not a contiguous arc: {side:?}");
+    }
+
+    #[test]
+    fn sweep_cut_vertices_empty_for_complete_and_matches_conductance() {
+        assert!(Topology::complete(20)
+            .unwrap()
+            .sweep_cut_vertices()
+            .is_empty());
+        // The public conductance estimate and the exposed cut agree: the
+        // returned side realizes the reported sweep conductance.
+        let t = Topology::random_regular(48, 4, 3).unwrap();
+        let side = t.sweep_cut_vertices();
+        assert!(!side.is_empty());
+        let in_side: Vec<bool> = {
+            let mut v = vec![false; t.len()];
+            for &u in &side {
+                v[u] = true;
+            }
+            v
+        };
+        let cut: usize = (0..t.len())
+            .filter(|&u| in_side[u])
+            .map(|u| t.neighbors(u).filter(|&w| !in_side[w]).count())
+            .sum();
+        let vol: usize = side.iter().map(|&u| t.degree(u)).sum();
+        let denom = vol.min(t.arc_count() - vol);
+        let phi_side = cut as f64 / denom as f64;
+        assert!((phi_side - t.conductance()).abs() < 1e-9);
     }
 
     #[test]

@@ -32,9 +32,22 @@ enum Mode {
     Summarize,
 }
 
-const USAGE: &str = "usage: ppfts_sweep --manifest <file> \
-    [--out <ledger.jsonl>] [--threads <n>] [--max-jobs <k>] \
-    [--list | --verify | --summarize]";
+const USAGE: &str = "\
+usage: ppfts_sweep --manifest <file> [options] [mode]
+
+modes (default: run the sweep)
+  --list       print the expanded job ids (no --out needed)
+  --verify     check the ledger covers every manifest job; exit 1 if not
+  --summarize  aggregate the ledger into a per-grid convergence table
+
+options
+  --out <ledger.jsonl>  checkpoint ledger (required for run/verify/
+                        summarize; finished jobs are skipped on re-run)
+  --threads <n>         worker threads                 [default: cores]
+  --max-jobs <k>        stop after k jobs this invocation
+
+exit codes: 0 success (verify: ledger complete; run: every attempted
+job recorded), 1 incomplete or failed jobs, 2 usage or manifest errors";
 
 fn parse_args() -> Result<Args, String> {
     let mut manifest = None;
@@ -66,6 +79,10 @@ fn parse_args() -> Result<Args, String> {
             "--list" => mode = Mode::List,
             "--verify" => mode = Mode::Verify,
             "--summarize" => mode = Mode::Summarize,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }

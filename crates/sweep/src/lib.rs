@@ -31,7 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+pub use ppfts_verify::json;
 pub mod manifest;
 pub mod orchestrator;
 pub mod scenario;

@@ -1,10 +1,13 @@
 //! Minimal JSON layer: a recursive-descent parser to a [`Value`] tree
 //! and a string escaper for emitting JSONL records. The build
-//! environment is offline (no serde), and the two consumers — scenario
-//! manifests and the per-job result ledger — need exactly standard JSON
-//! with no extensions, so the whole layer fits in one small module.
-//! (The `ppfts_bench::regression` parser is shape-specific to the bench
-//! report; this one is general, for manifest schemas that will grow.)
+//! environment is offline (no serde), and the consumers — scenario
+//! manifests and the per-job ledger in `ppfts-sweep` (which re-exports
+//! this module), schedule genomes in `ppfts-fuzz` — need exactly
+//! standard JSON with no extensions, so the whole layer fits in one
+//! small module. It lives here rather than in `ppfts-sweep` so the
+//! fuzzer can use it without closing a `bench → fuzz → sweep → bench`
+//! dependency cycle. (The `ppfts_bench::regression` parser is
+//! shape-specific to the bench report; this one is general.)
 
 use std::fmt;
 

@@ -33,9 +33,11 @@
 
 pub mod ablation;
 pub mod attack;
+pub mod json;
 pub mod model_check;
 pub mod optimist;
 pub mod pairing_audit;
+pub mod schedule_audit;
 pub mod topology_audit;
 
 pub use ablation::{always_elects_one_leader, rummy_ablation, sid_leader_graph, RummyAblation};
@@ -48,6 +50,7 @@ pub use optimist::{Optimist, OptimistState};
 pub use pairing_audit::{
     audit_pairing, audit_pairing_batched, pairing_converged, AuditReport, PairingViolation,
 };
+pub use schedule_audit::{audit_omission_schedule, ScheduleViolation};
 pub use topology_audit::{
     audit_scheduler_coverage, audit_simulation_topology, audit_trace_topology, CoverageReport,
     SimulationTopologyReport, SimulationTopologyViolation, TopologyViolation,

@@ -1,0 +1,166 @@
+//! Replay audits for scheduled-omission adversaries.
+//!
+//! The schedule fuzzer's core promise is that a found attack is a
+//! *faithful* member of the adversary class under test: every omission
+//! in the replayed trace was actually scheduled, and the total stays
+//! within the class budget (e.g. SKnO's bound `o`). [`audit_omission_schedule`]
+//! checks both against a recorded [`Trace`], so a genome that claims to
+//! break a simulator can be certified before it is reported.
+
+use ppfts_engine::Trace;
+use ppfts_population::{Interaction, State};
+
+/// A way a replayed trace betrayed its claimed omission schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// An omissive step the schedule does not permit.
+    UnscheduledOmission {
+        /// Step index of the rogue omission.
+        step: u64,
+    },
+    /// More omissions than the claimed class budget.
+    BudgetExceeded {
+        /// Omissions actually observed in the trace.
+        injected: u64,
+        /// The claimed bound.
+        budget: u64,
+    },
+}
+
+/// Audits a recorded trace against a claimed omission schedule.
+///
+/// `is_omissive` classifies each step's fault decoration (the caller
+/// knows whether `F` is a one-way or two-way fault); `permitted` is the
+/// stateless membership test of the claimed schedule — for a compiled
+/// genome that is
+/// [`OmissionSchedule::permits`](ppfts_engine::OmissionSchedule::permits).
+/// `budget` is the adversary-class bound, if any (SKnO's `o`).
+///
+/// Returns every violation found, in step order with any budget breach
+/// last; an empty vector certifies the replay.
+///
+/// # Example
+///
+/// ```
+/// use ppfts_engine::{OneWayFault, StepRecord, Trace};
+/// use ppfts_population::Interaction;
+/// use ppfts_verify::{audit_omission_schedule, ScheduleViolation};
+///
+/// let mut trace: Trace<u8, OneWayFault> = Trace::new();
+/// trace.push(StepRecord {
+///     index: 0,
+///     interaction: Interaction::new(0, 1)?,
+///     fault: OneWayFault::Omission,
+///     old_starter: 0, old_reactor: 0, new_starter: 0, new_reactor: 0,
+/// });
+/// // Claimed schedule permits nothing: the omission is rogue.
+/// let violations = audit_omission_schedule(
+///     &trace,
+///     |f| *f == OneWayFault::Omission,
+///     |_, _| false,
+///     Some(1),
+/// );
+/// assert_eq!(violations, [ScheduleViolation::UnscheduledOmission { step: 0 }]);
+/// # Ok::<(), ppfts_population::PopulationError>(())
+/// ```
+pub fn audit_omission_schedule<Q: State, F>(
+    trace: &Trace<Q, F>,
+    mut is_omissive: impl FnMut(&F) -> bool,
+    mut permitted: impl FnMut(u64, Interaction) -> bool,
+    budget: Option<u64>,
+) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    let mut injected = 0u64;
+    for record in trace.records() {
+        if !is_omissive(&record.fault) {
+            continue;
+        }
+        injected += 1;
+        if !permitted(record.index, record.interaction) {
+            violations.push(ScheduleViolation::UnscheduledOmission { step: record.index });
+        }
+    }
+    if let Some(budget) = budget {
+        if injected > budget {
+            violations.push(ScheduleViolation::BudgetExceeded { injected, budget });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfts_engine::{OneWayFault, StepRecord};
+
+    fn record(index: u64, s: usize, r: usize, fault: OneWayFault) -> StepRecord<u8, OneWayFault> {
+        StepRecord {
+            index,
+            interaction: Interaction::new(s, r).unwrap(),
+            fault,
+            old_starter: 0,
+            old_reactor: 0,
+            new_starter: 0,
+            new_reactor: 0,
+        }
+    }
+
+    #[test]
+    fn faithful_replay_is_certified() {
+        let mut trace = Trace::new();
+        trace.push(record(0, 0, 1, OneWayFault::None));
+        trace.push(record(1, 1, 2, OneWayFault::Omission));
+        trace.push(record(2, 2, 3, OneWayFault::None));
+        let violations = audit_omission_schedule(
+            &trace,
+            |f| *f == OneWayFault::Omission,
+            |step, _| step == 1,
+            Some(1),
+        );
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn rogue_omissions_and_budget_breaches_are_reported() {
+        let mut trace = Trace::new();
+        trace.push(record(0, 0, 1, OneWayFault::Omission));
+        trace.push(record(1, 1, 2, OneWayFault::Omission));
+        trace.push(record(2, 4, 5, OneWayFault::Omission));
+        // Only step 1 is scheduled, and the class allows one omission.
+        let violations = audit_omission_schedule(
+            &trace,
+            |f| *f == OneWayFault::Omission,
+            |step, i| step == 1 && i.involves(1.into()),
+            Some(1),
+        );
+        assert_eq!(
+            violations,
+            [
+                ScheduleViolation::UnscheduledOmission { step: 0 },
+                ScheduleViolation::UnscheduledOmission { step: 2 },
+                ScheduleViolation::BudgetExceeded {
+                    injected: 3,
+                    budget: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn permitted_sees_the_interaction() {
+        // A targeted schedule: omissions must involve agent 7.
+        let mut trace = Trace::new();
+        trace.push(record(0, 7, 1, OneWayFault::Omission));
+        trace.push(record(1, 2, 3, OneWayFault::Omission));
+        let violations = audit_omission_schedule(
+            &trace,
+            |f| *f == OneWayFault::Omission,
+            |_, i| i.involves(7.into()),
+            None,
+        );
+        assert_eq!(
+            violations,
+            [ScheduleViolation::UnscheduledOmission { step: 1 }]
+        );
+    }
+}

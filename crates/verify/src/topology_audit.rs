@@ -6,7 +6,7 @@
 //! executions:
 //!
 //! * [`audit_scheduler_coverage`] drives a
-//!   [`TopologyScheduler`](ppfts_engine::TopologyScheduler) for a fixed
+//!   [`TopologyScheduler`] for a fixed
 //!   number of draws and tallies per-arc hit counts — the statistical
 //!   witness that every arc of a connected topology has probability
 //!   `1/2m` per step and is therefore scheduled infinitely often in
@@ -95,7 +95,7 @@ impl fmt::Display for TopologyViolation {
 impl Error for TopologyViolation {}
 
 /// Tallies `draws` interactions from a fresh
-/// [`TopologyScheduler`](ppfts_engine::TopologyScheduler) over
+/// [`TopologyScheduler`] over
 /// `topology`, seeded with `seed`.
 ///
 /// With `draws` a reasonable multiple of `topology.arc_count()`, a
